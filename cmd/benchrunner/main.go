@@ -1,0 +1,80 @@
+// Command benchrunner regenerates the paper's evaluation artifacts: one
+// experiment per table and figure of §6, printed as aligned text tables.
+//
+// Usage:
+//
+//	benchrunner -exp fig7|fig8|fig9|fig10|fig11|table3|failures|ablate|all
+//	            [-sf 0.005,0.01] [-sites 4,8]
+//
+// Response times are deterministic modeled times from the simnet cost
+// clock (see DESIGN.md), so runs are reproducible across hosts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gignite/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table3, failures, ablate, scaling, all")
+	sfs := flag.String("sf", "0.005,0.01", "comma-separated scale factors")
+	sites := flag.String("sites", "4,8", "comma-separated site counts")
+	flag.Parse()
+
+	opts := harness.Options{Env: harness.NewEnv()}
+	for _, s := range strings.Split(*sfs, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fatalf("bad -sf value %q: %v", s, err)
+		}
+		opts.SFs = append(opts.SFs, v)
+	}
+	for _, s := range strings.Split(*sites, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fatalf("bad -sites value %q: %v", s, err)
+		}
+		opts.Sites = append(opts.Sites, v)
+	}
+
+	type experiment struct {
+		name string
+		run  func(harness.Options) (*harness.Report, error)
+	}
+	all := []experiment{
+		{"fig7", harness.Fig7},
+		{"fig8", harness.Fig8},
+		{"fig9", harness.Fig9},
+		{"fig10", harness.Fig10},
+		{"table3", harness.Table3},
+		{"fig11", harness.Fig11},
+		{"failures", harness.FailureMatrix},
+		{"ablate", harness.Ablation},
+		{"scaling", harness.Scaling},
+	}
+	ran := false
+	for _, e := range all {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		ran = true
+		rep, err := e.run(opts)
+		if err != nil {
+			fatalf("%s: %v", e.name, err)
+		}
+		fmt.Println(rep.Render())
+	}
+	if !ran {
+		fatalf("unknown experiment %q", *exp)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchrunner: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,131 @@
+// Command gignite is an interactive/batch SQL shell over the engine: it
+// loads a benchmark dataset (or starts empty), executes SQL from stdin,
+// and can EXPLAIN plans under any system variant.
+//
+// Usage:
+//
+//	gignite [-system ic|ic+|ic+m] [-sites 4] [-load tpch|ssb] [-sf 0.01]
+//
+// Then type SQL statements terminated by semicolons;
+// \q quits, \t toggles timing output.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gignite"
+	"gignite/internal/harness"
+	"gignite/internal/ssb"
+	"gignite/internal/tpch"
+)
+
+func main() {
+	system := flag.String("system", "ic+m", "system variant: ic, ic+, ic+m")
+	sites := flag.Int("sites", 4, "simulated processing sites")
+	load := flag.String("load", "", "preload a benchmark: tpch or ssb")
+	sf := flag.Float64("sf", 0.01, "benchmark scale factor")
+	flag.Parse()
+
+	var cfg gignite.Config
+	switch strings.ToLower(*system) {
+	case "ic":
+		cfg = gignite.IC(*sites)
+	case "ic+", "icplus":
+		cfg = gignite.ICPlus(*sites)
+	case "ic+m", "icplusm":
+		cfg = gignite.ICPlusM(*sites)
+	default:
+		fmt.Fprintf(os.Stderr, "gignite: unknown system %q\n", *system)
+		os.Exit(1)
+	}
+	cfg.ExecWorkLimit = harness.WorkLimitFor(*sf)
+	e := gignite.Open(cfg)
+
+	switch strings.ToLower(*load) {
+	case "tpch":
+		fmt.Fprintf(os.Stderr, "loading TPC-H at SF %g...\n", *sf)
+		if err := tpch.Setup(e, *sf); err != nil {
+			fmt.Fprintf(os.Stderr, "gignite: %v\n", err)
+			os.Exit(1)
+		}
+	case "ssb":
+		fmt.Fprintf(os.Stderr, "loading SSB at SF %g...\n", *sf)
+		if err := ssb.Setup(e, *sf); err != nil {
+			fmt.Fprintf(os.Stderr, "gignite: %v\n", err)
+			os.Exit(1)
+		}
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "gignite: unknown benchmark %q\n", *load)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr, "gignite %s shell on %d sites; \\q quits, \\t toggles timing\n",
+		strings.ToUpper(*system), *sites)
+	timing := true
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() { fmt.Fprint(os.Stderr, "gignite> ") }
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		switch trimmed {
+		case `\q`:
+			return
+		case `\t`:
+			timing = !timing
+			fmt.Fprintf(os.Stderr, "timing %v\n", timing)
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			continue
+		}
+		stmt := strings.TrimSpace(buf.String())
+		buf.Reset()
+		if stmt == "" || stmt == ";" {
+			prompt()
+			continue
+		}
+		runStatement(e, stmt, timing)
+		prompt()
+	}
+}
+
+func runStatement(e *gignite.Engine, stmt string, timing bool) {
+	res, err := e.Exec(stmt)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	if res.PlanText != "" {
+		fmt.Println(res.PlanText)
+		return
+	}
+	if len(res.Columns) > 0 {
+		fmt.Println(strings.Join(res.Columns, " | "))
+		for _, r := range res.Rows {
+			parts := make([]string, len(r))
+			for i, v := range r {
+				parts[i] = v.String()
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+	} else {
+		fmt.Println("ok")
+	}
+	if timing && res.Modeled > 0 {
+		fmt.Printf("modeled time: %v  (work=%.0f, shipped=%.0f bytes, %d fragments, %d instances)\n",
+			res.Modeled, res.Stats.Work, res.Stats.BytesShipped,
+			res.Stats.Fragments, res.Stats.Instances)
+	}
+}

@@ -1,0 +1,3 @@
+module gignite
+
+go 1.22

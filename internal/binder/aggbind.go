@@ -1,0 +1,246 @@
+package binder
+
+import (
+	"fmt"
+	"strings"
+
+	"gignite/internal/expr"
+	"gignite/internal/logical"
+	"gignite/internal/sql"
+)
+
+// bindAggregation plans GROUP BY / aggregate queries:
+//
+//	input → Project(group exprs ++ agg args) → Aggregate → [HAVING filters
+//	and scalar-subquery joins] → (select items become the caller's final
+//	projection)
+//
+// It returns the plan under the final projection and the rewritten select
+// item expressions over that plan's schema.
+func (b *Binder) bindAggregation(plan logical.Node, sc *scope, sel *sql.SelectStmt) (
+	logical.Node, []expr.Expr, []string, error) {
+
+	collector := newAggCollector()
+
+	// Bind GROUP BY expressions over the input scope.
+	groupExprs := make([]expr.Expr, 0, len(sel.GroupBy))
+	groupNames := make([]string, 0, len(sel.GroupBy))
+	for _, g := range sel.GroupBy {
+		eb := &exprBinder{b: b, inner: sc}
+		e, err := eb.bind(g)
+		if err != nil && isUnresolved(err) {
+			// GROUP BY may reference a select-item alias.
+			if e2, ok := b.groupByAlias(g, sel, sc); ok {
+				e, err = e2, nil
+			}
+		}
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		groupExprs = append(groupExprs, e)
+		groupNames = append(groupNames, groupExprName(e))
+	}
+
+	// Pass A: bind select items and HAVING with aggregate collection.
+	boundItems := make([]expr.Expr, len(sel.Items))
+	itemNames := make([]string, len(sel.Items))
+	for i, item := range sel.Items {
+		if item.Star {
+			return nil, nil, nil, fmt.Errorf("binder: SELECT * cannot be combined with GROUP BY or aggregates")
+		}
+		eb := &exprBinder{b: b, inner: sc, aggs: collector}
+		e, err := eb.bind(item.Expr)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		boundItems[i] = e
+		itemNames[i] = itemName(item)
+	}
+
+	// HAVING conjuncts: scalar-subquery comparisons keep their subquery for
+	// later expansion; everything else binds now (with collection).
+	type havingConjunct struct {
+		plain    expr.Expr // non-nil for ordinary predicates
+		lhs      expr.Expr // non-nil for scalar-subquery comparisons
+		op       string
+		sub      *sql.SelectStmt
+		reversed bool
+	}
+	var having []havingConjunct
+	if sel.Having != nil {
+		for _, conj := range splitASTConjuncts(sel.Having) {
+			if cmp, ok := conj.(*sql.BinaryExpr); ok && isComparisonOp(cmp.Op) {
+				if sub, ok := cmp.R.(*sql.SubqueryExpr); ok {
+					eb := &exprBinder{b: b, inner: sc, aggs: collector}
+					lhs, err := eb.bind(cmp.L)
+					if err != nil {
+						return nil, nil, nil, err
+					}
+					having = append(having, havingConjunct{lhs: lhs, op: cmp.Op, sub: sub.Select})
+					continue
+				}
+				if sub, ok := cmp.L.(*sql.SubqueryExpr); ok {
+					eb := &exprBinder{b: b, inner: sc, aggs: collector}
+					lhs, err := eb.bind(cmp.R)
+					if err != nil {
+						return nil, nil, nil, err
+					}
+					having = append(having, havingConjunct{lhs: lhs, op: cmp.Op, sub: sub.Select, reversed: true})
+					continue
+				}
+			}
+			eb := &exprBinder{b: b, inner: sc, aggs: collector}
+			e, err := eb.bind(conj)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			having = append(having, havingConjunct{plain: e})
+		}
+	}
+
+	// Build the pre-projection: group expressions then deduplicated
+	// aggregate arguments.
+	preExprs := append([]expr.Expr{}, groupExprs...)
+	preNames := append([]string{}, groupNames...)
+	argPos := make([]int, len(collector.calls)) // call → pre-projection column (-1 for COUNT(*))
+	argDigests := make(map[string]int)
+	for i, call := range collector.calls {
+		if call.Arg == nil {
+			argPos[i] = -1
+			continue
+		}
+		d := expr.Digest(call.Arg)
+		if p, ok := argDigests[d]; ok {
+			argPos[i] = p
+			continue
+		}
+		p := len(preExprs)
+		preExprs = append(preExprs, call.Arg)
+		preNames = append(preNames, fmt.Sprintf("__aggarg%d", i))
+		argDigests[d] = p
+		argPos[i] = p
+	}
+	pre := logical.NewProject(plan, preExprs, preNames)
+
+	// Build the aggregate: group columns are the leading pre-projection
+	// columns; each call's argument becomes a column reference.
+	groupCols := make([]int, len(groupExprs))
+	for i := range groupCols {
+		groupCols[i] = i
+	}
+	calls := make([]expr.AggCall, len(collector.calls))
+	preSchema := pre.Schema()
+	for i, call := range collector.calls {
+		nc := call
+		if argPos[i] >= 0 {
+			p := argPos[i]
+			nc.Arg = expr.NewColRef(p, preSchema[p].Kind, preSchema[p].Name)
+		}
+		nc.Name = fmt.Sprintf("__agg%d", i)
+		calls[i] = nc
+	}
+	var out logical.Node = logical.NewAggregate(pre, groupCols, calls)
+
+	// Digest table for rewriting post-aggregation expressions.
+	groupDigests := make(map[string]int, len(groupExprs))
+	for i, g := range groupExprs {
+		groupDigests[expr.Digest(g)] = i
+	}
+	aggOffset := len(groupExprs)
+	rewrite := func(e expr.Expr) (expr.Expr, error) {
+		return rewritePostAggRec(e, groupDigests, aggOffset)
+	}
+
+	// Apply HAVING.
+	for _, h := range having {
+		if h.plain != nil {
+			cond, err := rewrite(h.plain)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			out = logical.NewFilter(out, cond)
+			continue
+		}
+		lhs, err := rewrite(h.lhs)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		aggScope := newScope(out.Schema())
+		out, err = b.bindScalarCompareBound(out, aggScope, lhs, h.op, h.sub, h.reversed)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+
+	// Rewrite the select items over the aggregate output.
+	itemExprs := make([]expr.Expr, len(boundItems))
+	for i, e := range boundItems {
+		r, err := rewrite(e)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		itemExprs[i] = r
+	}
+	return out, itemExprs, itemNames, nil
+}
+
+// groupByAlias resolves a GROUP BY item that names a select-item alias.
+func (b *Binder) groupByAlias(g sql.Node, sel *sql.SelectStmt, sc *scope) (expr.Expr, bool) {
+	id, ok := g.(*sql.Ident)
+	if !ok || id.Qualifier != "" {
+		return nil, false
+	}
+	for _, item := range sel.Items {
+		if item.Alias != "" && strings.EqualFold(item.Alias, id.Name) {
+			eb := &exprBinder{b: b, inner: sc}
+			e, err := eb.bind(item.Expr)
+			if err == nil {
+				return e, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// groupExprName names a pre-projection group column: plain column
+// references keep their qualified name so later resolution still works.
+func groupExprName(e expr.Expr) string {
+	if c, ok := e.(*expr.ColRef); ok && c.Name != "" {
+		return c.Name
+	}
+	return ""
+}
+
+// rewritePostAggRec rewrites a bound expression (which may contain
+// aggregate placeholders and references to input columns) into an
+// expression over the aggregate operator's output. It matches group
+// expressions top-down by digest so that a grouped expression like
+// EXTRACT(YEAR FROM d) maps to its group column as a whole.
+func rewritePostAggRec(e expr.Expr, groupDigests map[string]int, aggOffset int) (expr.Expr, error) {
+	if p, ok := e.(*aggPlaceholder); ok {
+		return expr.NewColRef(aggOffset+p.idx, p.kind, ""), nil
+	}
+	if g, ok := groupDigests[expr.Digest(e)]; ok {
+		name := ""
+		if c, ok := e.(*expr.ColRef); ok {
+			name = c.Name
+		}
+		return expr.NewColRef(g, e.Kind(), name), nil
+	}
+	if _, ok := e.(*expr.ColRef); ok {
+		return nil, fmt.Errorf("binder: column %s must appear in the GROUP BY clause or be used in an aggregate", e)
+	}
+	children := e.Children()
+	if len(children) == 0 {
+		return e, nil
+	}
+	newChildren := make([]expr.Expr, len(children))
+	for i, ch := range children {
+		r, err := rewritePostAggRec(ch, groupDigests, aggOffset)
+		if err != nil {
+			return nil, err
+		}
+		newChildren[i] = r
+	}
+	return e.WithChildren(newChildren), nil
+}

@@ -1,0 +1,90 @@
+package binder
+
+import (
+	"fmt"
+	"strings"
+
+	"gignite/internal/types"
+)
+
+// scope is the name-resolution context for one query level: the output
+// schema of the plan built so far, with qualified column names
+// ("alias.column"). visible bounds the columns user expressions may match
+// via star expansion; subquery expansion appends internal columns beyond
+// it.
+type scope struct {
+	fields  types.Fields
+	visible int
+}
+
+func newScope(fields types.Fields) *scope {
+	return &scope{fields: fields, visible: len(fields)}
+}
+
+// resolve finds the column for a possibly-qualified identifier. Unqualified
+// names match either a bare field name or the suffix after the qualifier
+// dot; ambiguity is an error.
+func (s *scope) resolve(qualifier, name string) (int, types.Field, error) {
+	qualifier = strings.ToLower(qualifier)
+	name = strings.ToLower(name)
+	matchIdx := -1
+	for i, f := range s.fields {
+		fq, fn := splitQualified(f.Name)
+		if qualifier != "" {
+			if fq == qualifier && fn == name {
+				if matchIdx >= 0 {
+					return 0, types.Field{}, fmt.Errorf("binder: ambiguous column %s.%s", qualifier, name)
+				}
+				matchIdx = i
+			}
+			continue
+		}
+		if fn == name || f.Name == name {
+			if matchIdx >= 0 {
+				return 0, types.Field{}, fmt.Errorf("binder: ambiguous column %s", name)
+			}
+			matchIdx = i
+		}
+	}
+	if matchIdx < 0 {
+		full := name
+		if qualifier != "" {
+			full = qualifier + "." + name
+		}
+		return 0, types.Field{}, &unresolvedError{Name: full}
+	}
+	return matchIdx, s.fields[matchIdx], nil
+}
+
+func splitQualified(name string) (qualifier, column string) {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[:i], name[i+1:]
+	}
+	return "", name
+}
+
+// unresolvedError marks a name that did not resolve in the current scope;
+// the subquery binder uses it to detect correlation.
+type unresolvedError struct {
+	Name string
+}
+
+func (e *unresolvedError) Error() string {
+	return fmt.Sprintf("binder: column %s does not exist", e.Name)
+}
+
+// isUnresolved reports whether err (possibly wrapped) is a name-resolution
+// failure.
+func isUnresolved(err error) bool {
+	for err != nil {
+		if _, ok := err.(*unresolvedError); ok {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

@@ -1,0 +1,164 @@
+// Package cluster drives fragmented query execution over the simulated
+// multi-site deployment: it assigns fragments to sites by their
+// distribution traits, runs every (fragment × site × variant) instance,
+// wires the exchanges through the transport, and feeds the execution
+// trace to the simnet cost clock.
+//
+// Fragments execute in dependency order (producers before consumers) with
+// fully materialized exchanges. The concurrency the paper gets from
+// per-fragment threads is accounted for by the cost clock rather than by
+// host threads — see DESIGN.md §2 and package simnet.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"gignite/internal/exec"
+	"gignite/internal/fragment"
+	"gignite/internal/physical"
+	"gignite/internal/simnet"
+	"gignite/internal/storage"
+	"gignite/internal/types"
+)
+
+// Cluster is a simulated deployment: N sites over one partitioned store.
+type Cluster struct {
+	Store *storage.Store
+	// Sim is the modeled hardware profile for the cost clock.
+	Sim simnet.Params
+}
+
+// New creates a cluster over a store.
+func New(store *storage.Store, sim simnet.Params) *Cluster {
+	return &Cluster{Store: store, Sim: sim}
+}
+
+// Result is one query execution's outcome.
+type Result struct {
+	Rows   []types.Row
+	Fields types.Fields
+	// Modeled is the cost-clock response time on the modeled testbed.
+	Modeled time.Duration
+	// Work is the total CPU work units across all instances.
+	Work float64
+	// BytesShipped is the total network volume.
+	BytesShipped float64
+	// Fragments and Instances count the execution plan's parallel units.
+	Fragments int
+	Instances int
+}
+
+// ErrWorkLimit re-exports the executor's work-limit error for callers.
+var ErrWorkLimit = exec.ErrWorkLimit
+
+// Execute runs a fragmented plan. variants > 1 enables §5.3 variant
+// fragments (IC+M runs with 2).
+func (c *Cluster) Execute(plan *fragment.Plan, variants int) (*Result, error) {
+	return c.ExecuteLimited(plan, variants, 0)
+}
+
+// ExecuteLimited is Execute with a per-instance work limit (0 =
+// unlimited), reproducing the paper's query runtime limit.
+func (c *Cluster) ExecuteLimited(plan *fragment.Plan, variants int, workLimit float64) (*Result, error) {
+	order, err := plan.Ordered()
+	if err != nil {
+		return nil, err
+	}
+	transport := exec.NewTransport()
+	trace := &simnet.Trace{
+		Instances: make(map[int][]simnet.Instance),
+		Consumer:  make(map[int]int),
+	}
+	for _, f := range plan.Fragments {
+		for _, ex := range f.Receivers {
+			trace.Consumer[ex] = f.ID
+		}
+		if f.IsRoot {
+			trace.RootFrag = f.ID
+		}
+	}
+
+	var (
+		resultRows   []types.Row
+		resultFields types.Fields
+		instances    int
+	)
+	for _, f := range order {
+		trace.Order = append(trace.Order, f.ID)
+		sites := c.fragmentSites(f)
+		vs := fragment.BuildVariants(f, variants)
+		n := 1
+		var modes map[physical.Node]fragment.SourceMode
+		if vs != nil {
+			n = vs.N
+			modes = vs.Modes
+		}
+		for _, site := range sites {
+			for v := 0; v < n; v++ {
+				ctx := &exec.Context{
+					Store:     c.Store,
+					Transport: transport,
+					FragID:    f.ID,
+					Site:      site,
+					Variant:   v,
+					NVariants: n,
+					Modes:     modes,
+					WorkLimit: workLimit,
+					RowLimit:  int64(workLimit / 100),
+				}
+				rows, err := exec.Run(f.Root, ctx)
+				if err != nil {
+					return nil, fmt.Errorf("cluster: fragment %d at site %d: %w", f.ID, site, err)
+				}
+				instances++
+				trace.Instances[f.ID] = append(trace.Instances[f.ID], simnet.Instance{
+					Frag: f.ID, Site: site, Variant: v, Work: ctx.CPUWork,
+				})
+				if f.IsRoot {
+					resultRows = rows
+					resultFields = f.Root.Schema()
+				}
+			}
+		}
+	}
+
+	for _, s := range transport.Sends {
+		trace.Sends = append(trace.Sends, simnet.Send{
+			Exchange: s.Exchange, FromFrag: s.FromFrag, FromSite: s.FromSite,
+			FromVariant: s.FromVariant, ToSite: s.ToSite, Bytes: float64(s.Bytes),
+		})
+	}
+
+	return &Result{
+		Rows:         resultRows,
+		Fields:       resultFields,
+		Modeled:      simnet.Makespan(trace, c.Sim),
+		Work:         trace.TotalWork(),
+		BytesShipped: trace.TotalBytes(),
+		Fragments:    len(plan.Fragments),
+		Instances:    instances,
+	}, nil
+}
+
+// fragmentSites determines where a fragment executes, from the
+// distribution trait of its content (§3.2.3: "the distribution traits
+// from the operators in each fragment determine the processing sites").
+func (c *Cluster) fragmentSites(f *fragment.Fragment) []int {
+	if f.IsRoot {
+		return []int{0}
+	}
+	content := f.Root.Inputs()[0] // the sender's child
+	switch content.Dist().Type {
+	case physical.Hash:
+		sites := make([]int, c.Store.Sites())
+		for i := range sites {
+			sites[i] = i
+		}
+		return sites
+	default:
+		// Single-distributed content runs at the coordinator; broadcast
+		// content is identical everywhere, so one canonical copy executes.
+		return []int{0}
+	}
+}

@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"sort"
+	"testing"
+
+	"gignite/internal/catalog"
+	"gignite/internal/expr"
+	"gignite/internal/fragment"
+	"gignite/internal/physical"
+	"gignite/internal/simnet"
+	"gignite/internal/storage"
+	"gignite/internal/types"
+)
+
+func testCluster(t *testing.T, sites int) *Cluster {
+	t.Helper()
+	cat := catalog.New()
+	err := cat.AddTable(&catalog.Table{
+		Name: "t",
+		Columns: []catalog.Column{
+			{Name: "id", Kind: types.KindInt},
+			{Name: "grp", Kind: types.KindInt},
+		},
+		PrimaryKey: []string{"id"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := storage.NewStore(cat, sites)
+	rows := make([]types.Row, 100)
+	for i := range rows {
+		rows[i] = types.Row{types.NewInt(int64(i)), types.NewInt(int64(i % 4))}
+	}
+	if err := st.Load("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	return New(st, simnet.DefaultParams())
+}
+
+// buildPlan: scan t (all sites) → exchange single → collect at root.
+func buildPlan(t *testing.T, c *Cluster) *fragment.Plan {
+	t.Helper()
+	tbl, err := c.Store.Catalog().Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := physical.NewTableScan(tbl, "t", tbl.Fields())
+	scan.Props().EstRows = 100
+	ex := physical.NewExchange(scan, physical.SingleDist)
+	ex.Props().EstRows = 100
+	return fragment.Split(ex)
+}
+
+func TestExecuteCollectsAllPartitions(t *testing.T) {
+	for _, sites := range []int{1, 3, 5} {
+		c := testCluster(t, sites)
+		res, err := c.Execute(buildPlan(t, c), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 100 {
+			t.Errorf("%d sites: rows = %d", sites, len(res.Rows))
+		}
+		if res.Modeled <= 0 {
+			t.Errorf("%d sites: modeled = %v", sites, res.Modeled)
+		}
+		if res.Fragments != 2 {
+			t.Errorf("fragments = %d", res.Fragments)
+		}
+		ids := map[int64]bool{}
+		for _, r := range res.Rows {
+			ids[r[0].Int()] = true
+		}
+		if len(ids) != 100 {
+			t.Errorf("%d sites: distinct ids = %d", sites, len(ids))
+		}
+	}
+}
+
+func TestVariantsSameResultsMoreInstances(t *testing.T) {
+	c := testCluster(t, 2)
+	single, err := c.Execute(buildPlan(t, c), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := c.Execute(buildPlan(t, c), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Rows) != len(dual.Rows) {
+		t.Fatalf("row counts: %d vs %d", len(single.Rows), len(dual.Rows))
+	}
+	a := make([]string, len(single.Rows))
+	b := make([]string, len(dual.Rows))
+	for i := range single.Rows {
+		a[i] = single.Rows[i].String()
+		b[i] = dual.Rows[i].String()
+	}
+	sort.Strings(a)
+	sort.Strings(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+	if dual.Instances <= single.Instances {
+		t.Errorf("instances: single=%d dual=%d", single.Instances, dual.Instances)
+	}
+}
+
+func TestWorkLimitPropagates(t *testing.T) {
+	c := testCluster(t, 2)
+	_, err := c.ExecuteLimited(buildPlan(t, c), 1, 1)
+	if err == nil {
+		t.Error("tiny work limit not enforced")
+	}
+}
+
+func TestFragmentSitesByDistribution(t *testing.T) {
+	c := testCluster(t, 4)
+	plan := buildPlan(t, c)
+	for _, f := range plan.Fragments {
+		sites := c.fragmentSites(f)
+		if f.IsRoot {
+			if len(sites) != 1 || sites[0] != 0 {
+				t.Errorf("root sites = %v", sites)
+			}
+			continue
+		}
+		// The scan fragment is hash-distributed: all sites.
+		if len(sites) != 4 {
+			t.Errorf("scan fragment sites = %v", sites)
+		}
+	}
+}
+
+// TestDistributedAggregation wires map/exchange/reduce manually and checks
+// partial merging across sites.
+func TestDistributedAggregation(t *testing.T) {
+	c := testCluster(t, 3)
+	tbl, _ := c.Store.Catalog().Table("t")
+	scan := physical.NewTableScan(tbl, "t", tbl.Fields())
+	scan.Props().EstRows = 100
+	split, err := physical.SplitAggCalls(1, []expr.AggCall{
+		{Func: expr.AggCount, Name: "n"},
+		{Func: expr.AggAvg, Arg: expr.NewColRef(0, types.KindInt, ""), Name: "avg_id"},
+	}, types.Fields{
+		{Name: "grp", Kind: types.KindInt},
+		{Name: "n", Kind: types.KindInt},
+		{Name: "avg_id", Kind: types.KindFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapAgg := physical.NewHashAggregate(scan, []int{1}, split.MapCalls, physical.AggMap, split.MapFields)
+	ex := physical.NewExchange(mapAgg, physical.SingleDist)
+	reduce := physical.NewHashAggregate(ex, []int{0}, split.ReduceCalls, physical.AggReduce, split.ReduceFields)
+	var root physical.Node = reduce
+	if split.Finalize != nil {
+		root = physical.NewProject(reduce, split.Finalize, types.Fields{
+			{Name: "grp", Kind: types.KindInt},
+			{Name: "n", Kind: types.KindInt},
+			{Name: "avg_id", Kind: types.KindFloat},
+		})
+	}
+	res, err := c.Execute(fragment.Split(root), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r[1].Int() != 25 {
+			t.Errorf("group %v count = %v, want 25", r[0], r[1])
+		}
+		// ids for grp g: g, g+4, ..., g+96 → mean = g + 48.
+		want := float64(r[0].Int()) + 48
+		if r[2].Float() != want {
+			t.Errorf("group %v avg = %v, want %v", r[0], r[2], want)
+		}
+	}
+	if res.BytesShipped <= 0 {
+		t.Error("no bytes recorded")
+	}
+}

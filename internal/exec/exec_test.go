@@ -1,0 +1,444 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gignite/internal/catalog"
+	"gignite/internal/expr"
+	"gignite/internal/fragment"
+	"gignite/internal/logical"
+	"gignite/internal/physical"
+	"gignite/internal/storage"
+	"gignite/internal/types"
+)
+
+func testStore(t *testing.T, sites int) *storage.Store {
+	t.Helper()
+	cat := catalog.New()
+	err := cat.AddTable(&catalog.Table{
+		Name: "t",
+		Columns: []catalog.Column{
+			{Name: "id", Kind: types.KindInt},
+			{Name: "grp", Kind: types.KindInt},
+			{Name: "val", Kind: types.KindFloat},
+		},
+		PrimaryKey: []string{"id"},
+		Indexes:    []catalog.Index{{Name: "t_grp", Columns: []string{"grp"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := storage.NewStore(cat, sites)
+	rows := make([]types.Row, 60)
+	for i := range rows {
+		rows[i] = types.Row{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(i % 5)),
+			types.NewFloat(float64(i) * 1.5),
+		}
+	}
+	if err := st.Load("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.BuildIndexes("t"); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func scanNode(t *testing.T, st *storage.Store) *physical.TableScan {
+	t.Helper()
+	tbl, err := st.Catalog().Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return physical.NewTableScan(tbl, "t", tbl.Fields())
+}
+
+func ctxAt(st *storage.Store, site int) *Context {
+	return &Context{Store: st, Transport: NewTransport(), Site: site, NVariants: 1}
+}
+
+func TestScanFilterProject(t *testing.T) {
+	st := testStore(t, 2)
+	scan := scanNode(t, st)
+	filter := physical.NewFilter(scan, expr.NewBinOp(expr.OpLt,
+		expr.NewColRef(0, types.KindInt, ""), expr.NewLit(types.NewInt(10))))
+	proj := physical.NewProject(filter,
+		[]expr.Expr{expr.NewBinOp(expr.OpMul,
+			expr.NewColRef(0, types.KindInt, ""), expr.NewLit(types.NewInt(2)))},
+		types.Fields{{Name: "dbl", Kind: types.KindInt}})
+	var total int
+	for site := 0; site < 2; site++ {
+		rows, err := runNode(proj, ctxAt(st, site))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if r[0].Int()%2 != 0 || r[0].Int() >= 20 {
+				t.Fatalf("bad projected value %v", r[0])
+			}
+		}
+		total += len(rows)
+	}
+	if total != 10 {
+		t.Errorf("filtered rows = %d, want 10", total)
+	}
+}
+
+func TestSortAndLimit(t *testing.T) {
+	st := testStore(t, 1)
+	scan := scanNode(t, st)
+	sorted := physical.NewSort(scan, []types.SortKey{{Col: 2, Desc: true}})
+	lim := physical.NewLimit(sorted, 3)
+	rows, err := runNode(lim, ctxAt(st, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0][2].Float() != 59*1.5 {
+		t.Errorf("top rows = %v", rows)
+	}
+}
+
+func TestHashAggregateSitewise(t *testing.T) {
+	st := testStore(t, 1)
+	scan := scanNode(t, st)
+	agg := physical.NewHashAggregate(scan, []int{1},
+		[]expr.AggCall{
+			{Func: expr.AggCount, Name: "n"},
+			{Func: expr.AggSum, Arg: expr.NewColRef(0, types.KindInt, ""), Name: "s"},
+		}, physical.AggSinglePhase,
+		types.Fields{{Name: "grp", Kind: types.KindInt}, {Name: "n", Kind: types.KindInt},
+			{Name: "s", Kind: types.KindInt}})
+	rows, err := runNode(agg, ctxAt(st, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r[1].Int() != 12 {
+			t.Errorf("group %v count = %v", r[0], r[1])
+		}
+	}
+}
+
+func TestScalarAggregateEmptyInput(t *testing.T) {
+	rows, err := runHashAggregate(nil,
+		[]expr.AggCall{{Func: expr.AggCount}}, nil, ctxAt(testStore(t, 1), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].Int() != 0 {
+		t.Errorf("empty scalar agg = %v", rows)
+	}
+}
+
+// joinFixture builds left/right row sets with controlled key overlap.
+func joinFixture(n int) (left, right []types.Row) {
+	for i := 0; i < n; i++ {
+		left = append(left, types.Row{types.NewInt(int64(i % 7)), types.NewInt(int64(i))})
+	}
+	for i := 0; i < n/2; i++ {
+		right = append(right, types.Row{types.NewInt(int64(i % 5)), types.NewFloat(float64(i))})
+	}
+	return left, right
+}
+
+func mkJoin(algo physical.JoinAlgo, jt logical.JoinType) *physical.Join {
+	l := physical.NewValues(types.Fields{{Name: "k", Kind: types.KindInt},
+		{Name: "a", Kind: types.KindInt}}, nil)
+	r := physical.NewValues(types.Fields{{Name: "k2", Kind: types.KindInt},
+		{Name: "b", Kind: types.KindFloat}}, nil)
+	cond := expr.NewBinOp(expr.OpEq,
+		expr.NewColRef(0, types.KindInt, ""), expr.NewColRef(2, types.KindInt, ""))
+	return physical.NewJoin(l, r, algo, jt, cond,
+		[]expr.EquiKey{{Left: 0, Right: 0}}, physical.SingleDist, "single")
+}
+
+func sortRows(rows []types.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestJoinAlgorithmsAgree: NLJ, hash and merge joins must produce
+// identical results for every join type on the same inputs.
+func TestJoinAlgorithmsAgree(t *testing.T) {
+	st := testStore(t, 1)
+	left, right := joinFixture(40)
+	// Merge join needs sorted inputs.
+	sortedLeft := append([]types.Row(nil), left...)
+	sort.SliceStable(sortedLeft, func(a, b int) bool {
+		return sortedLeft[a][0].Int() < sortedLeft[b][0].Int()
+	})
+	sortedRight := append([]types.Row(nil), right...)
+	sort.SliceStable(sortedRight, func(a, b int) bool {
+		return sortedRight[a][0].Int() < sortedRight[b][0].Int()
+	})
+	for _, jt := range []logical.JoinType{logical.JoinInner, logical.JoinLeft,
+		logical.JoinSemi, logical.JoinAnti} {
+		nlj, err := runJoin(mkJoin(physical.NestedLoop, jt), left, right, ctxAt(st, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hj, err := runJoin(mkJoin(physical.HashAlgo, jt), left, right, ctxAt(st, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mj, err := runJoin(mkJoin(physical.Merge, jt), sortedLeft, sortedRight, ctxAt(st, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sn, sh, sm := sortRows(nlj), sortRows(hj), sortRows(mj)
+		if len(sn) != len(sh) || len(sn) != len(sm) {
+			t.Fatalf("%s: row counts nlj=%d hash=%d merge=%d", jt, len(sn), len(sh), len(sm))
+		}
+		for i := range sn {
+			if sn[i] != sh[i] || sn[i] != sm[i] {
+				t.Fatalf("%s row %d: nlj=%s hash=%s merge=%s", jt, i, sn[i], sh[i], sm[i])
+			}
+		}
+	}
+}
+
+// TestJoinEquivalenceProperty fuzz-checks hash vs NLJ join equivalence on
+// random key sets.
+func TestJoinEquivalenceProperty(t *testing.T) {
+	st := testStore(t, 1)
+	f := func(lk, rk []uint8) bool {
+		var left, right []types.Row
+		for i, k := range lk {
+			left = append(left, types.Row{types.NewInt(int64(k % 8)), types.NewInt(int64(i))})
+		}
+		for i, k := range rk {
+			right = append(right, types.Row{types.NewInt(int64(k % 8)), types.NewFloat(float64(i))})
+		}
+		for _, jt := range []logical.JoinType{logical.JoinInner, logical.JoinSemi, logical.JoinAnti} {
+			nlj, err1 := runJoin(mkJoin(physical.NestedLoop, jt), left, right, ctxAt(st, 0))
+			hj, err2 := runJoin(mkJoin(physical.HashAlgo, jt), left, right, ctxAt(st, 0))
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			a, b := sortRows(nlj), sortRows(hj)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSenderRouting(t *testing.T) {
+	st := testStore(t, 4)
+	rows := []types.Row{}
+	for i := 0; i < 40; i++ {
+		rows = append(rows, types.Row{types.NewInt(int64(i)), types.NewInt(1)})
+	}
+	fields := types.Fields{{Name: "k", Kind: types.KindInt}, {Name: "v", Kind: types.KindInt}}
+
+	// Single: everything to site 0.
+	tr := NewTransport()
+	vals := physical.NewValues(fields, rows)
+	s := physical.NewSender(vals, 7, physical.SingleDist)
+	ctx := &Context{Store: st, Transport: tr, Site: 2, NVariants: 1}
+	if _, err := Run(s, ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Receive(7, 0)); got != 1 {
+		t.Errorf("single target batches at site 0 = %d", got)
+	}
+	for site := 1; site < 4; site++ {
+		if len(tr.Receive(7, site)) != 0 {
+			t.Errorf("single target leaked to site %d", site)
+		}
+	}
+
+	// Broadcast: a full copy everywhere.
+	tr = NewTransport()
+	s = physical.NewSender(physical.NewValues(fields, rows), 8, physical.BroadcastDist)
+	ctx = &Context{Store: st, Transport: tr, Site: 0, NVariants: 1}
+	if _, err := Run(s, ctx); err != nil {
+		t.Fatal(err)
+	}
+	for site := 0; site < 4; site++ {
+		batches := tr.Receive(8, site)
+		if len(batches) != 1 || len(batches[0].Rows) != 40 {
+			t.Errorf("broadcast site %d got %d batches", site, len(batches))
+		}
+	}
+
+	// Hash: partitioned disjointly and completely, consistent with the
+	// storage placement function.
+	tr = NewTransport()
+	s = physical.NewSender(physical.NewValues(fields, rows), 9, physical.HashDist(0))
+	ctx = &Context{Store: st, Transport: tr, Site: 0, NVariants: 1}
+	if _, err := Run(s, ctx); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for site := 0; site < 4; site++ {
+		for _, b := range tr.Receive(9, site) {
+			for _, r := range b.Rows {
+				if storage.PartitionOf(r[0], 4) != site {
+					t.Errorf("row %v routed to wrong site %d", r, site)
+				}
+				seen++
+			}
+		}
+	}
+	if seen != 40 {
+		t.Errorf("hash routing lost rows: %d", seen)
+	}
+}
+
+// TestSplitterPartitionProperty: the §5.3.2 splitter must partition the
+// source completely and disjointly across variants.
+func TestSplitterPartitionProperty(t *testing.T) {
+	st := testStore(t, 1)
+	tbl, _ := st.Catalog().Table("t")
+	scan := physical.NewTableScan(tbl, "t", tbl.Fields())
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%4) + 2
+		modes := map[physical.Node]fragment.SourceMode{scan: fragment.SplitMode}
+		seen := map[int64]int{}
+		for v := 0; v < n; v++ {
+			ctx := &Context{Store: st, Transport: NewTransport(), Site: 0,
+				Variant: v, NVariants: n, Modes: modes}
+			rows, err := runNode(scan, ctx)
+			if err != nil {
+				return false
+			}
+			for _, r := range rows {
+				seen[r[0].Int()]++
+			}
+		}
+		if len(seen) != 60 {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDuplicatorReplaysAll(t *testing.T) {
+	st := testStore(t, 1)
+	tbl, _ := st.Catalog().Table("t")
+	scan := physical.NewTableScan(tbl, "t", tbl.Fields())
+	modes := map[physical.Node]fragment.SourceMode{scan: fragment.DuplicateMode}
+	for v := 0; v < 2; v++ {
+		ctx := &Context{Store: st, Transport: NewTransport(), Site: 0,
+			Variant: v, NVariants: 2, Modes: modes}
+		rows, err := runNode(scan, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 60 {
+			t.Errorf("variant %d saw %d rows, want all 60", v, len(rows))
+		}
+	}
+}
+
+func TestMergingReceiverOrders(t *testing.T) {
+	st := testStore(t, 1)
+	tr := NewTransport()
+	keys := []types.SortKey{{Col: 0}}
+	// Two senders ship sorted runs.
+	tr.Send(3, 0, &Batch{Rows: []types.Row{
+		{types.NewInt(1)}, {types.NewInt(4)}, {types.NewInt(9)}}, Sorted: keys})
+	tr.Send(3, 0, &Batch{Rows: []types.Row{
+		{types.NewInt(2)}, {types.NewInt(3)}, {types.NewInt(8)}}, Sorted: keys})
+	ex := physical.NewExchange(physical.NewSort(
+		physical.NewValues(types.Fields{{Name: "k", Kind: types.KindInt}}, nil), keys),
+		physical.SingleDist)
+	recv := physical.NewReceiver(ex, 3)
+	rows, err := runReceiver(recv, &Context{Store: st, Transport: tr, Site: 0, NVariants: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][0].Int() > rows[i][0].Int() {
+			t.Fatalf("merge receiver out of order: %v", rows)
+		}
+	}
+	if len(rows) != 6 {
+		t.Errorf("rows = %d", len(rows))
+	}
+}
+
+func TestWorkLimitAborts(t *testing.T) {
+	st := testStore(t, 1)
+	left, right := joinFixture(200)
+	j := mkJoin(physical.NestedLoop, logical.JoinInner)
+	ctx := ctxAt(st, 0)
+	ctx.WorkLimit = 10
+	_, err := runJoin(j, left, right, ctx)
+	if !errors.Is(err, ErrWorkLimit) {
+		t.Errorf("err = %v, want work limit", err)
+	}
+}
+
+func TestRowLimitAborts(t *testing.T) {
+	st := testStore(t, 1)
+	// A join with massive fan-out (all keys equal).
+	var left, right []types.Row
+	for i := 0; i < 300; i++ {
+		left = append(left, types.Row{types.NewInt(1), types.NewInt(int64(i))})
+		right = append(right, types.Row{types.NewInt(1), types.NewFloat(float64(i))})
+	}
+	j := mkJoin(physical.HashAlgo, logical.JoinInner)
+	ctx := ctxAt(st, 0)
+	ctx.WorkLimit = 1e12
+	ctx.RowLimit = 5000
+	_, err := runJoin(j, left, right, ctx)
+	if !errors.Is(err, ErrWorkLimit) {
+		t.Errorf("err = %v, want row-limit abort", err)
+	}
+}
+
+func TestSortAggregateMatchesHash(t *testing.T) {
+	st := testStore(t, 1)
+	var in []types.Row
+	for i := 0; i < 50; i++ {
+		in = append(in, types.Row{types.NewInt(int64(i / 10)), types.NewFloat(float64(i))})
+	}
+	aggs := []expr.AggCall{
+		{Func: expr.AggSum, Arg: expr.NewColRef(1, types.KindFloat, ""), Name: "s"},
+		{Func: expr.AggMin, Arg: expr.NewColRef(1, types.KindFloat, ""), Name: "m"},
+	}
+	h, err := runHashAggregate([]int{0}, aggs, in, ctxAt(st, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := runSortAggregate([]int{0}, aggs, in, ctxAt(st, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, ss := sortRows(h), sortRows(s)
+	if fmt.Sprint(hs) != fmt.Sprint(ss) {
+		t.Errorf("hash %v vs sort %v", hs, ss)
+	}
+}

@@ -1,0 +1,388 @@
+package exec
+
+import (
+	"fmt"
+
+	"gignite/internal/cost"
+	"gignite/internal/expr"
+	"gignite/internal/logical"
+	"gignite/internal/physical"
+	"gignite/internal/types"
+)
+
+// runHashAggregate groups rows with a hash table. A scalar aggregate (no
+// group columns) always emits exactly one row, even on empty input.
+func runHashAggregate(groupBy []int, aggs []expr.AggCall, in []types.Row, ctx *Context) ([]types.Row, error) {
+	ctx.work(float64(len(in)) * (cost.RPTC + cost.HAC + cost.RCC))
+	type group struct {
+		key  types.Row
+		accs []expr.Accumulator
+	}
+	newGroup := func(r types.Row) *group {
+		g := &group{key: make(types.Row, len(groupBy)), accs: make([]expr.Accumulator, len(aggs))}
+		for i, c := range groupBy {
+			g.key[i] = r[c]
+		}
+		for i, a := range aggs {
+			g.accs[i] = a.NewAccumulator()
+		}
+		return g
+	}
+	groups := make(map[uint64][]*group)
+	var order []*group
+	for _, r := range in {
+		h := r.Hash(groupBy)
+		var g *group
+		for _, cand := range groups[h] {
+			if keyMatches(cand.key, r, groupBy) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = newGroup(r)
+			groups[h] = append(groups[h], g)
+			order = append(order, g)
+		}
+		for _, acc := range g.accs {
+			acc.Add(r)
+		}
+	}
+	if len(groupBy) == 0 && len(order) == 0 {
+		g := &group{accs: make([]expr.Accumulator, len(aggs))}
+		for i, a := range aggs {
+			g.accs[i] = a.NewAccumulator()
+		}
+		order = append(order, g)
+	}
+	out := make([]types.Row, 0, len(order))
+	for _, g := range order {
+		row := make(types.Row, 0, len(groupBy)+len(aggs))
+		row = append(row, g.key...)
+		for _, acc := range g.accs {
+			row = append(row, acc.Result())
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func keyMatches(key types.Row, r types.Row, groupBy []int) bool {
+	for i, c := range groupBy {
+		if !types.Equal(key[i], r[c]) {
+			return false
+		}
+	}
+	return true
+}
+
+// runSortAggregate streams over input sorted by the group columns.
+func runSortAggregate(groupBy []int, aggs []expr.AggCall, in []types.Row, ctx *Context) ([]types.Row, error) {
+	ctx.work(float64(len(in)) * (cost.RPTC + cost.RCC))
+	if len(groupBy) == 0 {
+		return runHashAggregate(groupBy, aggs, in, ctx)
+	}
+	var out []types.Row
+	var accs []expr.Accumulator
+	var key types.Row
+	flush := func() {
+		if accs == nil {
+			return
+		}
+		row := make(types.Row, 0, len(groupBy)+len(aggs))
+		row = append(row, key...)
+		for _, acc := range accs {
+			row = append(row, acc.Result())
+		}
+		out = append(out, row)
+	}
+	for _, r := range in {
+		if accs == nil || !keyMatches(key, r, groupBy) {
+			flush()
+			key = make(types.Row, len(groupBy))
+			for i, c := range groupBy {
+				key[i] = r[c]
+			}
+			accs = make([]expr.Accumulator, len(aggs))
+			for i, a := range aggs {
+				accs[i] = a.NewAccumulator()
+			}
+		}
+		for _, acc := range accs {
+			acc.Add(r)
+		}
+	}
+	flush()
+	return out, nil
+}
+
+// runJoin dispatches on the physical algorithm.
+func runJoin(j *physical.Join, left, right []types.Row, ctx *Context) ([]types.Row, error) {
+	switch j.Algo {
+	case physical.HashAlgo:
+		return runHashJoin(j, left, right, ctx)
+	case physical.Merge:
+		return runMergeJoin(j, left, right, ctx)
+	default:
+		return runNestedLoopJoin(j, left, right, ctx)
+	}
+}
+
+// condTrue evaluates a join condition over the concatenated row.
+func condTrue(cond expr.Expr, row types.Row) bool {
+	v := cond.Eval(row)
+	return v.K == types.KindBool && v.Bool()
+}
+
+// emitGuard charges work per emitted join row and aborts runaway outputs
+// (a join can produce quadratically many rows from linear inputs, so
+// input-based charging alone cannot bound it).
+type emitGuard struct {
+	ctx     *Context
+	pending int
+}
+
+func (g *emitGuard) add(n int) error {
+	g.pending += n
+	if g.pending >= 4096 {
+		g.ctx.work(float64(g.pending) * cost.RPTC)
+		g.ctx.rowsEmitted += int64(g.pending)
+		g.pending = 0
+		if g.ctx.overLimit() {
+			return ErrWorkLimit
+		}
+		if g.ctx.RowLimit > 0 && g.ctx.rowsEmitted > g.ctx.RowLimit {
+			return ErrWorkLimit
+		}
+	}
+	return nil
+}
+
+func (g *emitGuard) flush() { g.ctx.work(float64(g.pending) * cost.RPTC); g.pending = 0 }
+
+// runNestedLoopJoin is the fallback for arbitrary conditions. It is the
+// operator that makes the IC baseline's mis-planned N×M joins exceed the
+// work limit, so the limit is checked inside the loop.
+func runNestedLoopJoin(j *physical.Join, left, right []types.Row, ctx *Context) ([]types.Row, error) {
+	ctx.work((float64(len(left)) + float64(len(left))*float64(len(right))) * (cost.RPTC + cost.RCC))
+	if ctx.overLimit() {
+		return nil, ErrWorkLimit
+	}
+	var out []types.Row
+	rightW := 0
+	if len(right) > 0 {
+		rightW = len(right[0])
+	} else if len(j.Inputs()) == 2 {
+		rightW = len(j.Inputs()[1].Schema())
+	}
+	guard := &emitGuard{ctx: ctx}
+	for _, l := range left {
+		matched := false
+		for _, r := range right {
+			row := l.Concat(r)
+			if !condTrue(j.Cond, row) {
+				continue
+			}
+			matched = true
+			switch j.Type {
+			case logical.JoinInner, logical.JoinLeft:
+				out = append(out, row)
+				if err := guard.add(1); err != nil {
+					return nil, err
+				}
+			case logical.JoinSemi:
+				out = append(out, l)
+			}
+			if j.Type == logical.JoinSemi {
+				break
+			}
+		}
+		if !matched {
+			switch j.Type {
+			case logical.JoinLeft:
+				out = append(out, padRight(l, rightW))
+			case logical.JoinAnti:
+				out = append(out, l)
+			}
+		}
+	}
+	guard.flush()
+	return out, nil
+}
+
+func padRight(l types.Row, rightW int) types.Row {
+	row := make(types.Row, 0, len(l)+rightW)
+	row = append(row, l...)
+	for i := 0; i < rightW; i++ {
+		row = append(row, types.Null)
+	}
+	return row
+}
+
+// runHashJoin implements §5.1.2: build on the right input, probe with the
+// left.
+func runHashJoin(j *physical.Join, left, right []types.Row, ctx *Context) ([]types.Row, error) {
+	if len(j.Keys) == 0 {
+		return nil, fmt.Errorf("exec: hash join without equi keys")
+	}
+	ctx.work((float64(len(left)) + float64(len(right))) * (cost.RCC + cost.RPTC + cost.HAC))
+	leftCols := make([]int, len(j.Keys))
+	rightCols := make([]int, len(j.Keys))
+	for i, k := range j.Keys {
+		leftCols[i] = k.Left
+		rightCols[i] = k.Right
+	}
+	table := make(map[uint64][]types.Row, len(right))
+	for _, r := range right {
+		if rowHasNullKey(r, rightCols) {
+			continue
+		}
+		h := r.Hash(rightCols)
+		table[h] = append(table[h], r)
+	}
+	rightW := 0
+	if len(right) > 0 {
+		rightW = len(right[0])
+	} else {
+		rightW = len(j.Inputs()[1].Schema())
+	}
+	var out []types.Row
+	guard := &emitGuard{ctx: ctx}
+	for _, l := range left {
+		matched := false
+		if !rowHasNullKey(l, leftCols) {
+			h := l.Hash(leftCols)
+			for _, r := range table[h] {
+				if !types.EqualOn(l, leftCols, r, rightCols) {
+					continue
+				}
+				row := l.Concat(r)
+				if !condTrue(j.Cond, row) {
+					continue
+				}
+				matched = true
+				switch j.Type {
+				case logical.JoinInner, logical.JoinLeft:
+					out = append(out, row)
+					if err := guard.add(1); err != nil {
+						return nil, err
+					}
+				case logical.JoinSemi:
+					out = append(out, l)
+				}
+				if j.Type == logical.JoinSemi {
+					break
+				}
+			}
+		}
+		if !matched {
+			switch j.Type {
+			case logical.JoinLeft:
+				out = append(out, padRight(l, rightW))
+			case logical.JoinAnti:
+				out = append(out, l)
+			}
+		}
+	}
+	guard.flush()
+	return out, nil
+}
+
+func rowHasNullKey(r types.Row, cols []int) bool {
+	for _, c := range cols {
+		if r[c].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// runMergeJoin merges two inputs sorted on the equi keys (inner and left
+// joins).
+func runMergeJoin(j *physical.Join, left, right []types.Row, ctx *Context) ([]types.Row, error) {
+	if len(j.Keys) == 0 {
+		return nil, fmt.Errorf("exec: merge join without equi keys")
+	}
+
+	ctx.work((float64(len(left)) + float64(len(right))) * (cost.RCC + cost.RPTC + cost.HAC))
+	leftCols := make([]int, len(j.Keys))
+	rightCols := make([]int, len(j.Keys))
+	for i, k := range j.Keys {
+		leftCols[i] = k.Left
+		rightCols[i] = k.Right
+	}
+	rightW := 0
+	if len(right) > 0 {
+		rightW = len(right[0])
+	} else {
+		rightW = len(j.Inputs()[1].Schema())
+	}
+	cmp := func(l, r types.Row) int {
+		for i := range leftCols {
+			c := types.Compare(l[leftCols[i]], r[rightCols[i]])
+			if c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+	var out []types.Row
+	guard := &emitGuard{ctx: ctx}
+	// emitUnmatched handles a left row with no qualifying right partner.
+	emitUnmatched := func(l types.Row) {
+		switch j.Type {
+		case logical.JoinLeft:
+			out = append(out, padRight(l, rightW))
+		case logical.JoinAnti:
+			out = append(out, l)
+		}
+	}
+	li, ri := 0, 0
+	for li < len(left) {
+		l := left[li]
+		if rowHasNullKey(l, leftCols) {
+			emitUnmatched(l)
+			li++
+			continue
+		}
+		// Advance the right side to the first candidate.
+		for ri < len(right) && (rowHasNullKey(right[ri], rightCols) || cmp(l, right[ri]) > 0) {
+			ri++
+		}
+		if ri >= len(right) || cmp(l, right[ri]) < 0 {
+			emitUnmatched(l)
+			li++
+			continue
+		}
+		// Group of equal right rows.
+		re := ri
+		for re < len(right) && cmp(l, right[re]) == 0 {
+			re++
+		}
+		matched := false
+		for _, r := range right[ri:re] {
+			row := l.Concat(r)
+			if condTrue(j.Cond, row) {
+				matched = true
+				if j.Type == logical.JoinInner || j.Type == logical.JoinLeft {
+					out = append(out, row)
+					if err := guard.add(1); err != nil {
+						return nil, err
+					}
+				} else {
+					break
+				}
+			}
+		}
+		switch {
+		case matched && j.Type == logical.JoinSemi:
+			out = append(out, l)
+		case !matched:
+			emitUnmatched(l)
+		}
+		li++
+		// Do not advance ri: the next left row may share the key group.
+	}
+	guard.flush()
+	return out, nil
+}

@@ -1,0 +1,325 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"gignite/internal/types"
+)
+
+// AggFunc enumerates the aggregate functions supported by the engine.
+type AggFunc uint8
+
+const (
+	// AggCount is COUNT(expr) (non-NULL count) or COUNT(*) when Arg is nil.
+	AggCount AggFunc = iota
+	// AggSum is SUM(expr).
+	AggSum
+	// AggAvg is AVG(expr).
+	AggAvg
+	// AggMin is MIN(expr).
+	AggMin
+	// AggMax is MAX(expr).
+	AggMax
+)
+
+var aggNames = [...]string{
+	AggCount: "COUNT", AggSum: "SUM", AggAvg: "AVG", AggMin: "MIN", AggMax: "MAX",
+}
+
+// String returns the SQL name of the aggregate.
+func (f AggFunc) String() string { return aggNames[f] }
+
+// AggCall is one aggregate invocation within an Aggregate operator.
+type AggCall struct {
+	Func     AggFunc
+	Arg      Expr // nil for COUNT(*)
+	Distinct bool
+	// Name labels the output column.
+	Name string
+}
+
+// Kind returns the result kind of the aggregate call.
+func (a AggCall) Kind() types.Kind {
+	switch a.Func {
+	case AggCount:
+		return types.KindInt
+	case AggAvg:
+		return types.KindFloat
+	case AggSum:
+		if a.Arg != nil && a.Arg.Kind() == types.KindInt {
+			return types.KindInt
+		}
+		return types.KindFloat
+	default: // MIN/MAX follow their argument
+		if a.Arg == nil {
+			return types.KindNull
+		}
+		return a.Arg.Kind()
+	}
+}
+
+// String renders the call for plan digests.
+func (a AggCall) String() string {
+	arg := "*"
+	if a.Arg != nil {
+		arg = a.Arg.String()
+	}
+	d := ""
+	if a.Distinct {
+		d = "DISTINCT "
+	}
+	return fmt.Sprintf("%s(%s%s)", a.Func, d, arg)
+}
+
+// Accumulator is the running state of one aggregate over one group. It is
+// created by NewAccumulator and fed rows by Add; Result finalizes.
+type Accumulator interface {
+	Add(row types.Row)
+	Result() types.Value
+	// Merge folds another accumulator of the same call into this one.
+	// It is used when combining partial aggregates from distributed sites.
+	Merge(other Accumulator)
+}
+
+// NewAccumulator builds a fresh accumulator for the call.
+func (a AggCall) NewAccumulator() Accumulator {
+	var base Accumulator
+	switch a.Func {
+	case AggCount:
+		base = &countAcc{arg: a.Arg}
+	case AggSum:
+		base = &sumAcc{arg: a.Arg, kind: a.Kind()}
+	case AggAvg:
+		base = &avgAcc{arg: a.Arg}
+	case AggMin:
+		base = &minMaxAcc{arg: a.Arg, isMin: true}
+	case AggMax:
+		base = &minMaxAcc{arg: a.Arg}
+	default:
+		panic(fmt.Sprintf("expr: unknown aggregate %d", a.Func))
+	}
+	if a.Distinct {
+		return &distinctAcc{call: a, seen: make(map[uint64][]types.Value)}
+	}
+	return base
+}
+
+type countAcc struct {
+	arg Expr
+	n   int64
+}
+
+func (c *countAcc) Add(row types.Row) {
+	if c.arg != nil && c.arg.Eval(row).IsNull() {
+		return
+	}
+	c.n++
+}
+
+func (c *countAcc) Result() types.Value { return types.NewInt(c.n) }
+
+func (c *countAcc) Merge(other Accumulator) { c.n += other.(*countAcc).n }
+
+type sumAcc struct {
+	arg     Expr
+	kind    types.Kind
+	sumI    int64
+	sumF    float64
+	nonNull bool
+}
+
+func (s *sumAcc) Add(row types.Row) {
+	v := s.arg.Eval(row)
+	if v.IsNull() {
+		return
+	}
+	s.nonNull = true
+	if s.kind == types.KindInt {
+		s.sumI += v.Int()
+	} else {
+		s.sumF += v.Float()
+	}
+}
+
+func (s *sumAcc) Result() types.Value {
+	if !s.nonNull {
+		return types.Null
+	}
+	if s.kind == types.KindInt {
+		return types.NewInt(s.sumI)
+	}
+	return types.NewFloat(s.sumF)
+}
+
+func (s *sumAcc) Merge(other Accumulator) {
+	o := other.(*sumAcc)
+	s.sumI += o.sumI
+	s.sumF += o.sumF
+	s.nonNull = s.nonNull || o.nonNull
+}
+
+type avgAcc struct {
+	arg Expr
+	sum float64
+	n   int64
+}
+
+func (a *avgAcc) Add(row types.Row) {
+	v := a.arg.Eval(row)
+	if v.IsNull() {
+		return
+	}
+	a.sum += v.Float()
+	a.n++
+}
+
+func (a *avgAcc) Result() types.Value {
+	if a.n == 0 {
+		return types.Null
+	}
+	return types.NewFloat(a.sum / float64(a.n))
+}
+
+func (a *avgAcc) Merge(other Accumulator) {
+	o := other.(*avgAcc)
+	a.sum += o.sum
+	a.n += o.n
+}
+
+type minMaxAcc struct {
+	arg   Expr
+	isMin bool
+	best  types.Value
+	set   bool
+}
+
+func (m *minMaxAcc) Add(row types.Row) {
+	v := m.arg.Eval(row)
+	if v.IsNull() {
+		return
+	}
+	m.addValue(v)
+}
+
+func (m *minMaxAcc) addValue(v types.Value) {
+	if !m.set {
+		m.best, m.set = v, true
+		return
+	}
+	c := types.Compare(v, m.best)
+	if (m.isMin && c < 0) || (!m.isMin && c > 0) {
+		m.best = v
+	}
+}
+
+func (m *minMaxAcc) Result() types.Value {
+	if !m.set {
+		return types.Null
+	}
+	return m.best
+}
+
+func (m *minMaxAcc) Merge(other Accumulator) {
+	o := other.(*minMaxAcc)
+	if o.set {
+		m.addValue(o.best)
+	}
+}
+
+// distinctAcc collects the distinct non-NULL argument values (hash buckets
+// resolve collisions) and computes the aggregate over them at finalize
+// time, so merging two partial accumulators is a simple set union.
+type distinctAcc struct {
+	call AggCall
+	seen map[uint64][]types.Value
+}
+
+func (d *distinctAcc) Add(row types.Row) {
+	v := d.call.Arg.Eval(row)
+	if v.IsNull() {
+		return
+	}
+	d.addValue(v)
+}
+
+func (d *distinctAcc) addValue(v types.Value) {
+	h := v.Hash()
+	for _, existing := range d.seen[h] {
+		if types.Equal(existing, v) {
+			return
+		}
+	}
+	d.seen[h] = append(d.seen[h], v)
+}
+
+func (d *distinctAcc) Result() types.Value {
+	var (
+		n    int64
+		sumF float64
+		sumI int64
+		best types.Value
+		set  bool
+	)
+	for _, vals := range d.seen {
+		for _, v := range vals {
+			n++
+			switch d.call.Func {
+			case AggSum, AggAvg:
+				sumF += v.Float()
+				if v.K == types.KindInt {
+					sumI += v.I
+				}
+			case AggMin, AggMax:
+				if !set {
+					best, set = v, true
+					break
+				}
+				c := types.Compare(v, best)
+				if (d.call.Func == AggMin && c < 0) || (d.call.Func == AggMax && c > 0) {
+					best = v
+				}
+			}
+		}
+	}
+	switch d.call.Func {
+	case AggCount:
+		return types.NewInt(n)
+	case AggSum:
+		if n == 0 {
+			return types.Null
+		}
+		if d.call.Kind() == types.KindInt {
+			return types.NewInt(sumI)
+		}
+		return types.NewFloat(sumF)
+	case AggAvg:
+		if n == 0 {
+			return types.Null
+		}
+		return types.NewFloat(sumF / float64(n))
+	default:
+		if !set {
+			return types.Null
+		}
+		return best
+	}
+}
+
+func (d *distinctAcc) Merge(other Accumulator) {
+	o := other.(*distinctAcc)
+	for _, vals := range o.seen {
+		for _, v := range vals {
+			d.addValue(v)
+		}
+	}
+}
+
+// describeAggs renders a list of calls (helper shared by plan nodes).
+func DescribeAggs(calls []AggCall) string {
+	parts := make([]string, len(calls))
+	for i, c := range calls {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, ", ")
+}

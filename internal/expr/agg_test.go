@@ -1,0 +1,177 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gignite/internal/types"
+)
+
+func rows(vals ...interface{}) []types.Row {
+	out := make([]types.Row, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case int:
+			out[i] = types.Row{types.NewInt(int64(x))}
+		case float64:
+			out[i] = types.Row{types.NewFloat(x)}
+		case nil:
+			out[i] = types.Row{types.Null}
+		case string:
+			out[i] = types.Row{types.NewString(x)}
+		}
+	}
+	return out
+}
+
+func runAgg(call AggCall, input []types.Row) types.Value {
+	acc := call.NewAccumulator()
+	for _, r := range input {
+		acc.Add(r)
+	}
+	return acc.Result()
+}
+
+func TestAggregates(t *testing.T) {
+	arg := NewColRef(0, types.KindInt, "")
+	input := rows(3, 1, nil, 4, 1)
+	cases := []struct {
+		call AggCall
+		want types.Value
+	}{
+		{AggCall{Func: AggCount, Arg: arg}, types.NewInt(4)},
+		{AggCall{Func: AggCount}, types.NewInt(5)}, // COUNT(*)
+		{AggCall{Func: AggSum, Arg: arg}, types.NewInt(9)},
+		{AggCall{Func: AggAvg, Arg: arg}, types.NewFloat(2.25)},
+		{AggCall{Func: AggMin, Arg: arg}, types.NewInt(1)},
+		{AggCall{Func: AggMax, Arg: arg}, types.NewInt(4)},
+		{AggCall{Func: AggCount, Arg: arg, Distinct: true}, types.NewInt(3)},
+		{AggCall{Func: AggSum, Arg: arg, Distinct: true}, types.NewInt(8)},
+	}
+	for _, c := range cases {
+		got := runAgg(c.call, input)
+		if !valEq(got, c.want) {
+			t.Errorf("%s = %v, want %v", c.call, got, c.want)
+		}
+	}
+}
+
+func TestAggregatesEmptyAndAllNull(t *testing.T) {
+	arg := NewColRef(0, types.KindInt, "")
+	empty := []types.Row(nil)
+	allNull := rows(nil, nil)
+	for _, f := range []AggFunc{AggSum, AggAvg, AggMin, AggMax} {
+		if got := runAgg(AggCall{Func: f, Arg: arg}, empty); !got.IsNull() {
+			t.Errorf("%s over empty = %v, want NULL", f, got)
+		}
+		if got := runAgg(AggCall{Func: f, Arg: arg}, allNull); !got.IsNull() {
+			t.Errorf("%s over NULLs = %v, want NULL", f, got)
+		}
+	}
+	if got := runAgg(AggCall{Func: AggCount, Arg: arg}, allNull); got.Int() != 0 {
+		t.Errorf("COUNT over NULLs = %v", got)
+	}
+	if got := runAgg(AggCall{Func: AggCount}, allNull); got.Int() != 2 {
+		t.Errorf("COUNT(*) over NULL rows = %v", got)
+	}
+}
+
+func TestAggFloatSum(t *testing.T) {
+	arg := NewColRef(0, types.KindFloat, "")
+	got := runAgg(AggCall{Func: AggSum, Arg: arg}, rows(1.5, 2.25))
+	if got.K != types.KindFloat || got.F != 3.75 {
+		t.Errorf("float SUM = %v", got)
+	}
+}
+
+func TestAggMinMaxStrings(t *testing.T) {
+	arg := NewColRef(0, types.KindString, "")
+	input := rows("banana", "apple", "cherry")
+	if got := runAgg(AggCall{Func: AggMin, Arg: arg}, input); got.Str() != "apple" {
+		t.Errorf("MIN strings = %v", got)
+	}
+	if got := runAgg(AggCall{Func: AggMax, Arg: arg}, input); got.Str() != "cherry" {
+		t.Errorf("MAX strings = %v", got)
+	}
+}
+
+// TestAggMergeProperty: merging accumulators over a partition of the input
+// must equal accumulating the whole input — the invariant distributed
+// partial aggregation relies on.
+func TestAggMergeProperty(t *testing.T) {
+	arg := NewColRef(0, types.KindInt, "")
+	calls := []AggCall{
+		{Func: AggCount, Arg: arg},
+		{Func: AggCount},
+		{Func: AggSum, Arg: arg},
+		{Func: AggAvg, Arg: arg},
+		{Func: AggMin, Arg: arg},
+		{Func: AggMax, Arg: arg},
+		{Func: AggCount, Arg: arg, Distinct: true},
+		{Func: AggSum, Arg: arg, Distinct: true},
+	}
+	f := func(vals []int16, split uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		input := make([]types.Row, len(vals))
+		for i, v := range vals {
+			input[i] = types.Row{types.NewInt(int64(v))}
+		}
+		cut := int(split) % len(input)
+		for _, call := range calls {
+			whole := runAgg(call, input)
+			left := call.NewAccumulator()
+			for _, r := range input[:cut] {
+				left.Add(r)
+			}
+			right := call.NewAccumulator()
+			for _, r := range input[cut:] {
+				right.Add(r)
+			}
+			left.Merge(right)
+			merged := left.Result()
+			if !valEq(whole, merged) {
+				t.Logf("%s: whole=%v merged=%v (cut=%d, n=%d)", call, whole, merged, cut, len(input))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggCallKinds(t *testing.T) {
+	intArg := NewColRef(0, types.KindInt, "")
+	floatArg := NewColRef(0, types.KindFloat, "")
+	if k := (AggCall{Func: AggCount, Arg: intArg}).Kind(); k != types.KindInt {
+		t.Errorf("COUNT kind = %s", k)
+	}
+	if k := (AggCall{Func: AggSum, Arg: intArg}).Kind(); k != types.KindInt {
+		t.Errorf("SUM(int) kind = %s", k)
+	}
+	if k := (AggCall{Func: AggSum, Arg: floatArg}).Kind(); k != types.KindFloat {
+		t.Errorf("SUM(float) kind = %s", k)
+	}
+	if k := (AggCall{Func: AggAvg, Arg: intArg}).Kind(); k != types.KindFloat {
+		t.Errorf("AVG kind = %s", k)
+	}
+	if k := (AggCall{Func: AggMax, Arg: floatArg}).Kind(); k != types.KindFloat {
+		t.Errorf("MAX kind = %s", k)
+	}
+}
+
+func TestDescribeAggs(t *testing.T) {
+	arg := NewColRef(0, types.KindInt, "qty")
+	got := DescribeAggs([]AggCall{
+		{Func: AggSum, Arg: arg},
+		{Func: AggCount},
+		{Func: AggCount, Arg: arg, Distinct: true},
+	})
+	want := "SUM($0:qty), COUNT(*), COUNT(DISTINCT $0:qty)"
+	if got != want {
+		t.Errorf("DescribeAggs = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,144 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"gignite/internal/types"
+)
+
+// Like is a SQL LIKE pattern test. Patterns support % (any run) and _
+// (any single byte). The pattern must be a constant; the benchmark
+// workloads never use computed patterns, and constant patterns let the
+// matcher be compiled once at plan time.
+type Like struct {
+	E       Expr
+	Pattern string
+	Negate  bool
+	matcher likeMatcher
+}
+
+// NewLike constructs a LIKE test with a pre-compiled matcher.
+func NewLike(e Expr, pattern string, negate bool) *Like {
+	return &Like{E: e, Pattern: pattern, Negate: negate, matcher: compileLike(pattern)}
+}
+
+func (l *Like) Kind() types.Kind { return types.KindBool }
+
+func (l *Like) Eval(row types.Row) types.Value {
+	v := l.E.Eval(row)
+	if v.IsNull() {
+		return types.Null
+	}
+	return types.NewBool(l.matcher.match(v.Str()) != l.Negate)
+}
+
+func (l *Like) String() string {
+	not := ""
+	if l.Negate {
+		not = "NOT "
+	}
+	return fmt.Sprintf("%s %sLIKE '%s'", l.E, not, l.Pattern)
+}
+
+func (l *Like) Children() []Expr { return []Expr{l.E} }
+
+func (l *Like) WithChildren(children []Expr) Expr {
+	mustArity("Like", children, 1)
+	return NewLike(children[0], l.Pattern, l.Negate)
+}
+
+// likeMatcher is a compiled LIKE pattern: literal segments (possibly
+// containing _ wildcards) separated by % runs. anchorStart/anchorEnd record
+// whether the pattern began/ended with a literal segment rather than %.
+type likeMatcher struct {
+	segments    []string
+	anchorStart bool
+	anchorEnd   bool
+}
+
+func compileLike(pattern string) likeMatcher {
+	segs := strings.Split(pattern, "%")
+	m := likeMatcher{
+		anchorStart: segs[0] != "",
+		anchorEnd:   segs[len(segs)-1] != "",
+	}
+	for _, seg := range segs {
+		if seg != "" {
+			m.segments = append(m.segments, seg)
+		}
+	}
+	// A pattern with no % at all ("abc") is fully anchored; note that
+	// strings.Split never returns an empty slice, so segs[0] is safe.
+	if !strings.Contains(pattern, "%") {
+		m.anchorStart, m.anchorEnd = true, true
+		if pattern == "" {
+			m.segments = nil
+		}
+	}
+	return m
+}
+
+// match implements LIKE with greedy left-to-right segment placement, which
+// is complete for this wildcard language: taking the earliest placement of
+// each segment leaves maximal slack for the segments that follow.
+func (m likeMatcher) match(s string) bool {
+	if len(m.segments) == 0 {
+		// Pattern was "" (matches only "") or all-% (matches anything).
+		if m.anchorStart && m.anchorEnd {
+			return s == ""
+		}
+		return true
+	}
+	// Fully anchored single segment: exact-length match.
+	if m.anchorStart && m.anchorEnd && len(m.segments) == 1 {
+		return len(s) == len(m.segments[0]) && segmentMatchesAt(s, 0, m.segments[0])
+	}
+	pos := 0
+	last := len(m.segments) - 1
+	for i, seg := range m.segments {
+		switch {
+		case i == 0 && m.anchorStart:
+			if !segmentMatchesAt(s, 0, seg) {
+				return false
+			}
+			pos = len(seg)
+		case i == last && m.anchorEnd:
+			tail := len(s) - len(seg)
+			if tail < pos || !segmentMatchesAt(s, tail, seg) {
+				return false
+			}
+			pos = len(s)
+		default:
+			idx := findSegment(s, pos, seg)
+			if idx < 0 {
+				return false
+			}
+			pos = idx + len(seg)
+		}
+	}
+	return true
+}
+
+// findSegment finds the earliest placement of seg in s at or after pos.
+func findSegment(s string, pos int, seg string) int {
+	for i := pos; i+len(seg) <= len(s); i++ {
+		if segmentMatchesAt(s, i, seg) {
+			return i
+		}
+	}
+	return -1
+}
+
+// segmentMatchesAt reports whether seg (with _ wildcards) matches s at off.
+func segmentMatchesAt(s string, off int, seg string) bool {
+	if off < 0 || off+len(seg) > len(s) {
+		return false
+	}
+	for i := 0; i < len(seg); i++ {
+		if seg[i] != '_' && seg[i] != s[off+i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,115 @@
+package expr
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gignite/internal/types"
+)
+
+func TestLikeBasic(t *testing.T) {
+	cases := []struct {
+		s, pattern string
+		want       bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "hell", false},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "%x%", false},
+		{"hello", "h_llo", true},
+		{"hello", "h_lo", false},
+		{"hello", "%", true},
+		{"", "%", true},
+		{"", "", true},
+		{"x", "", false},
+		{"hello", "_____", true},
+		{"hello", "____", false},
+		{"promo burnished", "promo%", true},
+		{"special requests", "%special%requests%", true},
+		{"MEDIUM POLISHED BRASS", "MEDIUM POLISHED%", true},
+		{"abc", "a%b%c", true},
+		{"ac", "a%b%c", false},
+		{"abcbc", "a%bc", true}, // greedy must not over-consume
+		{"ab", "%ab", true},
+		{"aab", "%ab", true},
+		{"ba", "%ab", false},
+		{"aXb", "a_b", true},
+		{"ab", "a_b", false},
+		{"green antique tomato", "%green%", true},
+		{"forest green", "green%", false},
+	}
+	for _, c := range cases {
+		m := compileLike(c.pattern)
+		if got := m.match(c.s); got != c.want {
+			t.Errorf("LIKE %q ~ %q = %v, want %v", c.s, c.pattern, got, c.want)
+		}
+	}
+}
+
+func TestLikeExprNullAndNegate(t *testing.T) {
+	l := NewLike(NewColRef(0, types.KindString, ""), "a%", false)
+	if got := l.Eval(types.Row{types.Null}); !got.IsNull() {
+		t.Error("NULL LIKE pattern != NULL")
+	}
+	nl := NewLike(NewColRef(0, types.KindString, ""), "a%", true)
+	if got := nl.Eval(types.Row{types.NewString("bcd")}); !got.Bool() {
+		t.Error("'bcd' NOT LIKE 'a%' = false")
+	}
+	if got := nl.Eval(types.Row{types.NewString("abc")}); got.Bool() {
+		t.Error("'abc' NOT LIKE 'a%' = true")
+	}
+}
+
+// likeToRegexp builds a reference matcher for property testing.
+func likeToRegexp(pattern string) *regexp.Regexp {
+	var sb strings.Builder
+	sb.WriteString("^")
+	for i := 0; i < len(pattern); i++ {
+		switch pattern[i] {
+		case '%':
+			sb.WriteString(".*")
+		case '_':
+			sb.WriteString(".")
+		default:
+			sb.WriteString(regexp.QuoteMeta(string(pattern[i])))
+		}
+	}
+	sb.WriteString("$")
+	return regexp.MustCompile(sb.String())
+}
+
+// TestLikePropertyVsRegexp cross-checks the greedy matcher against a
+// regexp reference over a constrained random alphabet (so patterns hit
+// often enough to be meaningful).
+func TestLikePropertyVsRegexp(t *testing.T) {
+	alphabet := []byte("ab%_")
+	strAlpha := []byte("ab")
+	f := func(patSeed, strSeed uint64) bool {
+		pat := genFromSeed(patSeed, alphabet, 8)
+		s := genFromSeed(strSeed, strAlpha, 10)
+		want := likeToRegexp(pat).MatchString(s)
+		got := compileLike(pat).match(s)
+		if got != want {
+			t.Logf("pattern %q, string %q: got %v want %v", pat, s, got, want)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func genFromSeed(seed uint64, alphabet []byte, maxLen int) string {
+	n := int(seed % uint64(maxLen+1))
+	var sb strings.Builder
+	state := seed
+	for i := 0; i < n; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		sb.WriteByte(alphabet[(state>>33)%uint64(len(alphabet))])
+	}
+	return sb.String()
+}

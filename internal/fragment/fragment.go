@@ -1,0 +1,210 @@
+// Package fragment converts an optimized physical plan into an execution
+// plan: a set of fragments, each a subtree executable entirely at one
+// processing site, connected by sender/receiver pairs (§3.2.3,
+// Algorithm 1). It also implements variant fragment creation (§5.3,
+// Algorithm 3) for multi-threaded execution.
+package fragment
+
+import (
+	"fmt"
+
+	"gignite/internal/logical"
+	"gignite/internal/physical"
+)
+
+// Fragment is one executable subsection of the query tree.
+type Fragment struct {
+	ID int
+	// Root is the fragment's root operator: a Sender for non-root
+	// fragments, the plan root for the root fragment.
+	Root physical.Node
+	// IsRoot marks the fragment that returns results to the user.
+	IsRoot bool
+	// Receivers lists the exchange IDs this fragment consumes (its
+	// dependencies).
+	Receivers []int
+	// ExchangeID is the exchange this fragment feeds (-1 for the root).
+	ExchangeID int
+}
+
+// Plan is a fragmented execution plan.
+type Plan struct {
+	Fragments []*Fragment
+	// Producer maps an exchange ID to the fragment that feeds it.
+	Producer map[int]*Fragment
+}
+
+// Split implements Algorithm 1: walking the tree depth-first, every
+// Exchange is replaced by a receiver (staying in the current fragment) and
+// a sender (rooting a new fragment over the exchange's child).
+func Split(root physical.Node) *Plan {
+	p := &Plan{Producer: make(map[int]*Fragment)}
+	nextExchange := 0
+
+	var splitTree func(n physical.Node, frag *Fragment) physical.Node
+	splitTree = func(n physical.Node, frag *Fragment) physical.Node {
+		if ex, ok := n.(*physical.Exchange); ok {
+			id := nextExchange
+			nextExchange++
+			child := ex.Inputs()[0]
+			sender := physical.NewSender(child, id, ex.Target)
+			sub := &Fragment{ID: len(p.Fragments), Root: sender, ExchangeID: id}
+			p.Fragments = append(p.Fragments, sub)
+			p.Producer[id] = sub
+			// Recurse inside the new fragment for nested exchanges.
+			sender.SetInputs([]physical.Node{splitTree(child, sub)})
+			frag.Receivers = append(frag.Receivers, id)
+			return physical.NewReceiver(ex, id)
+		}
+		ins := n.Inputs()
+		if len(ins) > 0 {
+			newIns := make([]physical.Node, len(ins))
+			for i, in := range ins {
+				newIns[i] = splitTree(in, frag)
+			}
+			n.SetInputs(newIns)
+		}
+		return n
+	}
+
+	rootFrag := &Fragment{ID: 0, IsRoot: true, ExchangeID: -1}
+	p.Fragments = append(p.Fragments, rootFrag)
+	rootFrag.Root = splitTree(root, rootFrag)
+	return p
+}
+
+// Ordered returns the fragments in dependency order: every fragment
+// appears after the fragments feeding its receivers.
+func (p *Plan) Ordered() ([]*Fragment, error) {
+	state := make(map[int]int, len(p.Fragments)) // 0 new, 1 visiting, 2 done
+	var out []*Fragment
+	var visit func(f *Fragment) error
+	visit = func(f *Fragment) error {
+		switch state[f.ID] {
+		case 1:
+			return fmt.Errorf("fragment: cycle through fragment %d", f.ID)
+		case 2:
+			return nil
+		}
+		state[f.ID] = 1
+		for _, ex := range f.Receivers {
+			if err := visit(p.Producer[ex]); err != nil {
+				return err
+			}
+		}
+		state[f.ID] = 2
+		out = append(out, f)
+		return nil
+	}
+	for _, f := range p.Fragments {
+		if err := visit(f); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SourceMode is how a source operator behaves inside a variant fragment
+// (§5.3.1).
+type SourceMode uint8
+
+const (
+	// SplitMode partitions the source rows across variants
+	// (c % n == vid).
+	SplitMode SourceMode = iota
+	// DuplicateMode replays all source rows in every variant.
+	DuplicateMode
+)
+
+// Variants describes the multi-threaded execution of one fragment: N
+// variant copies, with a per-source mode assignment.
+type Variants struct {
+	N int
+	// Modes assigns each source operator (TableScan, IndexScan, Receiver)
+	// its splitter/duplicator role.
+	Modes map[physical.Node]SourceMode
+}
+
+// BuildVariants implements Algorithm 3. It returns nil when the fragment
+// must stay single-threaded: root fragments, fragments containing a
+// reduction operator (single-phase or reduce-phase aggregation), and
+// fragments with no splittable source.
+func BuildVariants(f *Fragment, n int) *Variants {
+	if f.IsRoot || n <= 1 {
+		return nil
+	}
+	v := &Variants{N: n, Modes: make(map[physical.Node]SourceMode)}
+	if !assignModes(f.Root, SplitMode, v.Modes) {
+		return nil
+	}
+	// At least one source must actually split for variants to be useful.
+	split := false
+	for _, m := range v.Modes {
+		if m == SplitMode {
+			split = true
+			break
+		}
+	}
+	if !split {
+		return nil
+	}
+	return v
+}
+
+// assignModes walks the fragment tree assigning source modes; it returns
+// false when a reduction operator makes the fragment ineligible.
+func assignModes(n physical.Node, mode SourceMode, modes map[physical.Node]SourceMode) bool {
+	switch t := n.(type) {
+	case *physical.TableScan, *physical.IndexScan, *physical.Receiver:
+		modes[n] = mode
+		return true
+	case *physical.HashAggregate:
+		if t.IsReduction() {
+			return false
+		}
+	case *physical.SortAggregate:
+		if t.IsReduction() {
+			return false
+		}
+	case *physical.Join:
+		if t.Type == logical.JoinInner {
+			// §5.3.1: the left source chain duplicates; the right keeps
+			// the incoming mode (most often a base relation scan that
+			// benefits from dynamic sub-partitioning). Every (l, r) pair
+			// is then seen in exactly one variant.
+			if !assignModes(t.Inputs()[0], DuplicateMode, modes) {
+				return false
+			}
+			return assignModes(t.Inputs()[1], mode, modes)
+		}
+		// Semi/anti/left joins decide per left row against ALL right
+		// matches, so the right side must duplicate and the left side
+		// carries the incoming split.
+		if !assignModes(t.Inputs()[0], mode, modes) {
+			return false
+		}
+		return assignModes(t.Inputs()[1], DuplicateMode, modes)
+	case *physical.Limit:
+		// A limit needs the whole stream; treat like a reduction.
+		return false
+	}
+	for _, in := range n.Inputs() {
+		if !assignModes(in, mode, modes) {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the fragmented plan for EXPLAIN output.
+func (p *Plan) Format() string {
+	out := ""
+	for _, f := range p.Fragments {
+		role := "fragment"
+		if f.IsRoot {
+			role = "root fragment"
+		}
+		out += fmt.Sprintf("--- %s %d ---\n%s", role, f.ID, physical.Format(f.Root))
+	}
+	return out
+}

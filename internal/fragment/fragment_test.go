@@ -1,0 +1,209 @@
+package fragment
+
+import (
+	"testing"
+
+	"gignite/internal/catalog"
+	"gignite/internal/expr"
+	"gignite/internal/logical"
+	"gignite/internal/physical"
+	"gignite/internal/types"
+)
+
+func scan(name string) *physical.TableScan {
+	t := &catalog.Table{
+		Name: name,
+		Columns: []catalog.Column{
+			{Name: "id", Kind: types.KindInt},
+			{Name: "v", Kind: types.KindInt},
+		},
+		PrimaryKey:  []string{"id"},
+		AffinityKey: "id",
+	}
+	return physical.NewTableScan(t, name, t.Fields())
+}
+
+// buildJoinPlan assembles: scanA ⋈ Exchange(scanB → hash) under an
+// Exchange(single) — two exchanges, three fragments.
+func buildJoinPlan() physical.Node {
+	a := scan("a")
+	b := scan("b")
+	ex1 := physical.NewExchange(b, physical.HashDist(0))
+	join := physical.NewJoin(a, ex1, physical.HashAlgo, logical.JoinInner,
+		expr.NewBinOp(expr.OpEq,
+			expr.NewColRef(0, types.KindInt, ""),
+			expr.NewColRef(2, types.KindInt, "")),
+		[]expr.EquiKey{{Left: 0, Right: 0}}, physical.HashDist(0), "hash")
+	return physical.NewExchange(join, physical.SingleDist)
+}
+
+func TestSplitAlgorithm1(t *testing.T) {
+	plan := Split(buildJoinPlan())
+	if len(plan.Fragments) != 3 {
+		t.Fatalf("fragments = %d, want 3", len(plan.Fragments))
+	}
+	root := plan.Fragments[0]
+	if !root.IsRoot {
+		t.Error("fragment 0 not root")
+	}
+	// The root fragment's tree is just the receiver of the top exchange.
+	if _, ok := root.Root.(*physical.Receiver); !ok {
+		t.Errorf("root fragment root = %T", root.Root)
+	}
+	if len(root.Receivers) != 1 {
+		t.Errorf("root receivers = %v", root.Receivers)
+	}
+	// Every non-root fragment is rooted at a sender.
+	senders := 0
+	for _, f := range plan.Fragments[1:] {
+		if _, ok := f.Root.(*physical.Sender); ok {
+			senders++
+		}
+		if f.IsRoot {
+			t.Error("extra root fragment")
+		}
+	}
+	if senders != 2 {
+		t.Errorf("senders = %d", senders)
+	}
+	// No exchange operators remain anywhere.
+	for _, f := range plan.Fragments {
+		physical.Walk(f.Root, func(n physical.Node) bool {
+			if _, ok := n.(*physical.Exchange); ok {
+				t.Error("exchange survived splitting")
+			}
+			return true
+		})
+	}
+	// Producer maps every exchange ID.
+	if len(plan.Producer) != 2 {
+		t.Errorf("producers = %d", len(plan.Producer))
+	}
+}
+
+func TestOrderedDependencies(t *testing.T) {
+	plan := Split(buildJoinPlan())
+	order, err := plan.Ordered()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for i, f := range order {
+		pos[f.ID] = i
+	}
+	for _, f := range plan.Fragments {
+		for _, ex := range f.Receivers {
+			if pos[plan.Producer[ex].ID] > pos[f.ID] {
+				t.Errorf("fragment %d ordered before its producer", f.ID)
+			}
+		}
+	}
+}
+
+func TestBuildVariantsRootAndReductionSkipped(t *testing.T) {
+	plan := Split(buildJoinPlan())
+	root := plan.Fragments[0]
+	if v := BuildVariants(root, 2); v != nil {
+		t.Error("root fragment got variants")
+	}
+	// A fragment with a single-phase aggregate is a reduction: skipped.
+	a := scan("a")
+	agg := physical.NewHashAggregate(a, []int{0}, nil, physical.AggSinglePhase,
+		a.Schema()[:1])
+	sender := physical.NewSender(agg, 0, physical.SingleDist)
+	f := &Fragment{ID: 1, Root: sender}
+	if v := BuildVariants(f, 2); v != nil {
+		t.Error("reduction fragment got variants")
+	}
+	// Map-phase aggregates are fine (partials merge downstream).
+	aggMap := physical.NewHashAggregate(scan("a"), []int{0}, nil, physical.AggMap,
+		a.Schema()[:1])
+	f2 := &Fragment{ID: 2, Root: physical.NewSender(aggMap, 0, physical.SingleDist)}
+	if v := BuildVariants(f2, 2); v == nil {
+		t.Error("map-phase fragment denied variants")
+	}
+	// n <= 1 means no variants.
+	if v := BuildVariants(f2, 1); v != nil {
+		t.Error("n=1 produced variants")
+	}
+}
+
+func TestBuildVariantsJoinModes(t *testing.T) {
+	// Inner join: left source duplicates, right splits (§5.3.1).
+	a, b := scan("a"), scan("b")
+	join := physical.NewJoin(a, b, physical.NestedLoop, logical.JoinInner,
+		expr.True, nil, physical.SingleDist, "single")
+	f := &Fragment{ID: 1, Root: physical.NewSender(join, 0, physical.SingleDist)}
+	v := BuildVariants(f, 2)
+	if v == nil {
+		t.Fatal("no variants")
+	}
+	if v.Modes[a] != DuplicateMode {
+		t.Error("inner join left source should duplicate")
+	}
+	if v.Modes[b] != SplitMode {
+		t.Error("inner join right source should split")
+	}
+	// Semi join: left splits, right duplicates (per-left-row decisions
+	// need the whole right side).
+	a2, b2 := scan("a"), scan("b")
+	semi := physical.NewJoin(a2, b2, physical.NestedLoop, logical.JoinSemi,
+		expr.True, nil, physical.SingleDist, "single")
+	f2 := &Fragment{ID: 2, Root: physical.NewSender(semi, 0, physical.SingleDist)}
+	v2 := BuildVariants(f2, 2)
+	if v2 == nil {
+		t.Fatal("no variants for semi")
+	}
+	if v2.Modes[a2] != SplitMode || v2.Modes[b2] != DuplicateMode {
+		t.Errorf("semi modes = left %v right %v", v2.Modes[a2], v2.Modes[b2])
+	}
+}
+
+func TestBuildVariantsLimitBlocked(t *testing.T) {
+	lim := physical.NewLimit(scan("a"), 10)
+	f := &Fragment{ID: 1, Root: physical.NewSender(lim, 0, physical.SingleDist)}
+	if v := BuildVariants(f, 2); v != nil {
+		t.Error("limit fragment got variants")
+	}
+}
+
+func TestBuildVariantsAllDuplicatorsRejected(t *testing.T) {
+	// If every source would be a duplicator, variants are pointless: a
+	// join of two joins' left spines... simplest: single scan fragment is
+	// split-eligible, so use a left-deep join where the only sources are
+	// on duplicate chains.
+	a, b := scan("a"), scan("b")
+	inner := physical.NewJoin(a, b, physical.NestedLoop, logical.JoinSemi,
+		expr.True, nil, physical.SingleDist, "single")
+	// semi: a splits — still has a splitter, so variants exist.
+	f := &Fragment{ID: 1, Root: physical.NewSender(inner, 0, physical.SingleDist)}
+	if v := BuildVariants(f, 2); v == nil {
+		t.Fatal("expected variants")
+	}
+}
+
+func TestFormatListsFragments(t *testing.T) {
+	plan := Split(buildJoinPlan())
+	out := plan.Format()
+	if len(out) == 0 {
+		t.Fatal("empty format")
+	}
+	for _, want := range []string{"root fragment 0", "fragment 1", "fragment 2"} {
+		if !contains(out, want) {
+			t.Errorf("format missing %q", want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

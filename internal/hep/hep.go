@@ -1,0 +1,71 @@
+// Package hep implements the HepPlanner: the exhaustive rule-driven
+// rewriter Calcite provides for heuristic (non-cost-based) optimization
+// (§3.1). It consumes a list of rules and applies them over the whole plan
+// until a fixpoint — an expression no rule alters — or an iteration bound
+// that guards against rule cycles.
+package hep
+
+import (
+	"gignite/internal/logical"
+	"gignite/internal/rules"
+)
+
+// maxPasses bounds fixpoint iteration. Well-formed rule sets converge in a
+// handful of passes; hitting the bound indicates a cycling rule pair and
+// the planner returns the best-so-far plan rather than failing, which is
+// also what Calcite's HepPlanner does when its match limit is exhausted.
+const maxPasses = 64
+
+// Planner is a HepPlanner instance over one rule list.
+type Planner struct {
+	rules []rules.Rule
+	// Fired counts rule applications (for tests and planner telemetry).
+	Fired int
+}
+
+// New creates a planner with the given rules.
+func New(rs []rules.Rule) *Planner { return &Planner{rules: rs} }
+
+// Optimize rewrites the plan to a fixpoint.
+func (p *Planner) Optimize(plan logical.Node) logical.Node {
+	for pass := 0; pass < maxPasses; pass++ {
+		next, changed := p.pass(plan)
+		plan = next
+		if !changed {
+			return plan
+		}
+	}
+	return plan
+}
+
+// pass applies every rule to every node, bottom-up, once.
+func (p *Planner) pass(plan logical.Node) (logical.Node, bool) {
+	changed := false
+	out := logical.Transform(plan, func(n logical.Node) logical.Node {
+		for {
+			fired := false
+			for _, r := range p.rules {
+				next, ok := r.Apply(n)
+				if ok {
+					n = next
+					p.Fired++
+					fired = true
+					changed = true
+				}
+			}
+			if !fired {
+				return n
+			}
+		}
+	})
+	return out, changed
+}
+
+// RunGroups runs a sequence of planners, one per rule group — Ignite's
+// first optimization stage runs three HepPlanners in sequence (§3.2.1).
+func RunGroups(plan logical.Node, groups [][]rules.Rule) logical.Node {
+	for _, g := range groups {
+		plan = New(g).Optimize(plan)
+	}
+	return plan
+}

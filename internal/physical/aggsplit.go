@@ -1,0 +1,122 @@
+package physical
+
+import (
+	"fmt"
+
+	"gignite/internal/expr"
+	"gignite/internal/types"
+)
+
+// AggSplit describes the two-phase (map/reduce) decomposition of an
+// aggregation (§3.2's distributed aggregation; the reduce side is the
+// "reduction operator" of §5.3). DISTINCT aggregates cannot be split.
+type AggSplit struct {
+	// MapCalls run at each site over local rows.
+	MapCalls []expr.AggCall
+	// MapFields is the map output schema: group columns then partials.
+	MapFields types.Fields
+	// ReduceCalls merge the partial columns (input = map output).
+	ReduceCalls []expr.AggCall
+	// ReduceFields is the reduce output schema.
+	ReduceFields types.Fields
+	// Finalize projects the reduce output to the original aggregate
+	// schema; nil when the reduce output is already final (no AVG).
+	Finalize []expr.Expr
+}
+
+// SplitAggCalls builds the map/reduce decomposition for an aggregate with
+// the given group column count, calls, and final output schema. It returns
+// an error for DISTINCT calls, which must stay single-phase.
+func SplitAggCalls(groupCount int, calls []expr.AggCall, finalFields types.Fields) (*AggSplit, error) {
+	s := &AggSplit{}
+	for i := 0; i < groupCount; i++ {
+		s.MapFields = append(s.MapFields, finalFields[i])
+		s.ReduceFields = append(s.ReduceFields, finalFields[i])
+	}
+	needFinalize := false
+	// finalizeRefs[i] is the reduce-output column holding call i's value
+	// (or, for AVG, its sum; the count follows at +1).
+	finalizeRefs := make([]int, len(calls))
+	for i, c := range calls {
+		if c.Distinct {
+			return nil, fmt.Errorf("physical: DISTINCT aggregate %s cannot be split into map/reduce", c)
+		}
+		partialCol := groupCount + len(s.MapCalls)
+		finalizeRefs[i] = groupCount + len(s.ReduceCalls)
+		switch c.Func {
+		case expr.AggCount:
+			s.MapCalls = append(s.MapCalls, c)
+			s.MapFields = append(s.MapFields, types.Field{Name: c.Name, Kind: types.KindInt})
+			s.ReduceCalls = append(s.ReduceCalls, expr.AggCall{
+				Func: expr.AggSum, Name: c.Name,
+				Arg: expr.NewColRef(partialCol, types.KindInt, ""),
+			})
+			s.ReduceFields = append(s.ReduceFields, types.Field{Name: c.Name, Kind: types.KindInt})
+		case expr.AggSum, expr.AggMin, expr.AggMax:
+			s.MapCalls = append(s.MapCalls, c)
+			kind := c.Kind()
+			s.MapFields = append(s.MapFields, types.Field{Name: c.Name, Kind: kind})
+			s.ReduceCalls = append(s.ReduceCalls, expr.AggCall{
+				Func: reduceFuncFor(c.Func), Name: c.Name,
+				Arg: expr.NewColRef(partialCol, kind, ""),
+			})
+			s.ReduceFields = append(s.ReduceFields, types.Field{Name: c.Name, Kind: kind})
+		case expr.AggAvg:
+			needFinalize = true
+			// Map: SUM(arg), COUNT(arg).
+			s.MapCalls = append(s.MapCalls,
+				expr.AggCall{Func: expr.AggSum, Arg: c.Arg, Name: c.Name + "_sum"},
+				expr.AggCall{Func: expr.AggCount, Arg: c.Arg, Name: c.Name + "_cnt"})
+			sumKind := types.KindFloat
+			if c.Arg != nil && c.Arg.Kind() == types.KindInt {
+				sumKind = types.KindInt
+			}
+			s.MapFields = append(s.MapFields,
+				types.Field{Name: c.Name + "_sum", Kind: sumKind},
+				types.Field{Name: c.Name + "_cnt", Kind: types.KindInt})
+			// Reduce: SUM(sum), SUM(cnt).
+			s.ReduceCalls = append(s.ReduceCalls,
+				expr.AggCall{Func: expr.AggSum, Name: c.Name + "_sum",
+					Arg: expr.NewColRef(partialCol, sumKind, "")},
+				expr.AggCall{Func: expr.AggSum, Name: c.Name + "_cnt",
+					Arg: expr.NewColRef(partialCol+1, types.KindInt, "")})
+			s.ReduceFields = append(s.ReduceFields,
+				types.Field{Name: c.Name + "_sum", Kind: sumKind},
+				types.Field{Name: c.Name + "_cnt", Kind: types.KindInt})
+		default:
+			return nil, fmt.Errorf("physical: cannot split aggregate %s", c)
+		}
+	}
+	if needFinalize {
+		s.Finalize = make([]expr.Expr, 0, len(finalFields))
+		for g := 0; g < groupCount; g++ {
+			s.Finalize = append(s.Finalize,
+				expr.NewColRef(g, finalFields[g].Kind, finalFields[g].Name))
+		}
+		for i, c := range calls {
+			ref := finalizeRefs[i]
+			if c.Func == expr.AggAvg {
+				sum := expr.NewColRef(ref, s.ReduceFields[ref].Kind, "")
+				cnt := expr.NewColRef(ref+1, types.KindInt, "")
+				s.Finalize = append(s.Finalize, expr.NewBinOp(expr.OpDiv, sum, cnt))
+			} else {
+				s.Finalize = append(s.Finalize,
+					expr.NewColRef(ref, s.ReduceFields[ref].Kind, ""))
+			}
+		}
+	}
+	return s, nil
+}
+
+func reduceFuncFor(f expr.AggFunc) expr.AggFunc {
+	switch f {
+	case expr.AggSum:
+		return expr.AggSum
+	case expr.AggMin:
+		return expr.AggMin
+	case expr.AggMax:
+		return expr.AggMax
+	default:
+		panic(fmt.Sprintf("physical: no reduce function for %s", f))
+	}
+}

@@ -1,0 +1,107 @@
+package physical
+
+import (
+	"gignite/internal/expr"
+	"gignite/internal/logical"
+)
+
+// DistMapping is one row of the deriveDistribution output (§3.2.2,
+// Table 2, extended by §5.1.1): a possible target distribution for a join
+// together with the source distributions each input must satisfy.
+type DistMapping struct {
+	Name   string
+	Target Distribution
+	Left   Distribution
+	Right  Distribution
+}
+
+// DeriveJoinDistributions generates the distribution mappings a join may
+// adopt, given its inputs' actual distributions. It reproduces Table 2:
+//
+//	single     — all data shipped to one site
+//	broadcast  — fully replicated join at every site
+//	hash       — co-located equi-join: the left side partitioned on its
+//	             equi keys, the right side routed by the same hash
+//
+// and, when fullyDistributed is true, the §5.1.1 additions:
+//
+//	bcast-left  — the left input is broadcast to the right input's
+//	              partition sites; each site joins against its local right
+//	              partition (A⋈B = ∪ₖ A⋈Bₖ)
+//	bcast-right — the mirror image, valid for all join types because the
+//	              left rows stay partitioned
+//
+// Mappings whose correctness depends on join semantics are filtered:
+// bcast-left duplicates left rows per site, so it is only valid for inner
+// joins; semi/anti/left joins need every probe row to see the whole build
+// side or a co-located slice of it.
+func DeriveJoinDistributions(jt logical.JoinType, keys []expr.EquiKey,
+	leftW int, leftDist, rightDist Distribution, fullyDistributed bool) []DistMapping {
+
+	out := []DistMapping{
+		{Name: "single", Target: SingleDist, Left: SingleDist, Right: SingleDist},
+		{Name: "broadcast", Target: BroadcastDist, Left: BroadcastDist, Right: BroadcastDist},
+	}
+
+	// Joins against an already-replicated input run locally at the other
+	// input's partition sites with no data movement. This is base Ignite
+	// behaviour (replicated dimension tables exist exactly for this), not
+	// part of the §5.1.1 improvement, so it is never gated.
+	if rightDist.Type == Broadcast && leftDist.Type == Hash {
+		out = append(out, DistMapping{
+			Name: "local", Target: leftDist, Left: leftDist, Right: BroadcastDist,
+		})
+	}
+	if leftDist.Type == Broadcast && rightDist.Type == Hash && jt == logical.JoinInner {
+		// Mirror case: sound only for inner joins (a broadcast left means
+		// every site holds all left rows; left-projecting joins would
+		// duplicate them).
+		out = append(out, DistMapping{
+			Name: "local", Target: rightDist.ShiftKeys(leftW), Left: BroadcastDist, Right: rightDist,
+		})
+	}
+
+	// hash: requires equi keys. The join runs at the left relation's
+	// partition sites; output rows stay partitioned on the left keys.
+	if len(keys) > 0 {
+		leftKeys := make([]int, len(keys))
+		rightKeys := make([]int, len(keys))
+		for i, k := range keys {
+			leftKeys[i] = k.Left
+			rightKeys[i] = k.Right
+		}
+		out = append(out, DistMapping{
+			Name:   "hash",
+			Target: HashDist(leftKeys...),
+			Left:   HashDist(leftKeys...),
+			Right:  HashDist(rightKeys...),
+		})
+	}
+
+	if fullyDistributed {
+		// bcast-right: left stays in place (if it is hash-partitioned),
+		// right is replicated to every left site. Valid for every join
+		// type: each left row is joined exactly once against the complete
+		// right side.
+		if leftDist.Type == Hash {
+			out = append(out, DistMapping{
+				Name:   "bcast-right",
+				Target: leftDist, // output keeps the left partitioning
+				Left:   leftDist,
+				Right:  BroadcastDist,
+			})
+		}
+		// bcast-left: right stays in place, left is replicated. Each right
+		// partition contributes a partial join; the union is the join.
+		// Only inner joins tolerate the left-row duplication across sites.
+		if jt == logical.JoinInner && rightDist.Type == Hash {
+			out = append(out, DistMapping{
+				Name:   "bcast-left",
+				Target: rightDist.ShiftKeys(leftW),
+				Left:   BroadcastDist,
+				Right:  rightDist,
+			})
+		}
+	}
+	return out
+}

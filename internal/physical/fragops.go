@@ -1,0 +1,69 @@
+package physical
+
+import (
+	"fmt"
+
+	"gignite/internal/types"
+)
+
+// Sender and Receiver are the operator pair fragmentation substitutes for
+// each Exchange (§3.2.3): the sender ships its child's rows over the
+// network to the corresponding receiver in another fragment.
+
+// Sender is the root of a non-root fragment.
+type Sender struct {
+	base
+	// ExchangeID links the sender to its receiver.
+	ExchangeID int
+	// Target is the distribution the original exchange established; it
+	// determines routing (single site, all sites, or hash placement).
+	Target Distribution
+}
+
+// NewSender builds a sender above child for the given exchange.
+func NewSender(child Node, exchangeID int, target Distribution) *Sender {
+	s := &Sender{ExchangeID: exchangeID, Target: target}
+	s.inputs = []Node{child}
+	s.props.Fields = child.Schema()
+	s.props.Dist = target
+	s.props.Coll = child.Collation()
+	s.props.EstRows = child.Props().EstRows
+	return s
+}
+
+func (s *Sender) Describe() string {
+	return fmt.Sprintf("Sender #%d -> %s", s.ExchangeID, s.Target)
+}
+
+// Receiver is a leaf that consumes rows shipped by the matching senders.
+// MergeKeys non-nil makes it a merging receiver: the per-sender streams
+// are combined preserving their common sort order.
+type Receiver struct {
+	base
+	ExchangeID int
+	// SourceDist is the distribution of the sending side (for EXPLAIN).
+	SourceDist Distribution
+	MergeKeys  []types.SortKey
+}
+
+// NewReceiver builds the receiver side of an exchange.
+func NewReceiver(ex *Exchange, exchangeID int) *Receiver {
+	r := &Receiver{
+		ExchangeID: exchangeID,
+		SourceDist: ex.Inputs()[0].Dist(),
+		MergeKeys:  ex.Collation(),
+	}
+	r.props.Fields = ex.Schema()
+	r.props.Dist = ex.Target
+	r.props.Coll = ex.Collation()
+	r.props.EstRows = ex.Props().EstRows
+	return r
+}
+
+func (r *Receiver) Describe() string {
+	m := ""
+	if len(r.MergeKeys) > 0 {
+		m = ", merging"
+	}
+	return fmt.Sprintf("Receiver #%d (from %s%s)", r.ExchangeID, r.SourceDist, m)
+}

@@ -1,0 +1,161 @@
+// Package simnet is the cost clock: it converts the work counters and
+// shipment records of a real query execution into a modeled response time
+// for a cluster the paper's testbed shape (N sites × C cores, 10 GbE).
+//
+// This is the substitution for the paper's physical machines (see
+// DESIGN.md §2): the host running this reproduction has a single core, so
+// wall-clock time cannot exhibit multi-site or multi-thread speedups. The
+// clock computes the makespan of the fragment DAG instead: fragment
+// instances run in parallel across sites (and across variant threads,
+// §5.3), network edges add latency plus byte transfer time, and a site's
+// threads contend for its cores. Because the inputs are counters from a
+// real execution of the real plan, plan-quality differences translate
+// into modeled-time differences through exactly the mechanisms the paper
+// describes.
+package simnet
+
+import (
+	"time"
+)
+
+// Params is the modeled hardware profile. Defaults approximate one of the
+// paper's machines (2× E5-2620v2, 24 logical cores, 10 GbE).
+type Params struct {
+	// CoresPerSite bounds intra-site thread parallelism.
+	CoresPerSite int
+	// WorkPerSec converts executor work units into seconds.
+	WorkPerSec float64
+	// LatencySec is the per-message network latency.
+	LatencySec float64
+	// BytesPerSec is the per-link network bandwidth.
+	BytesPerSec float64
+	// ThreadOverheadSec is the fixed cost of starting one fragment
+	// instance (thread scheduling + setup); it is what makes useless
+	// variant fragments a net loss (§6.2.3).
+	ThreadOverheadSec float64
+	// LoadFactor scales CPU time for externally induced contention (the
+	// AQL experiments run k clients against the same sites). 0 means 1.
+	LoadFactor float64
+}
+
+// DefaultParams is the testbed profile used by the benchmark harness:
+// 24 logical cores per site, 10 GbE (~1.25 GB/s, ~100 µs per message).
+func DefaultParams() Params {
+	return Params{
+		CoresPerSite:      24,
+		WorkPerSec:        25e6,
+		LatencySec:        100e-6,
+		BytesPerSec:       1.25e9,
+		ThreadOverheadSec: 100e-6,
+	}
+}
+
+// Instance is one executed fragment instance.
+type Instance struct {
+	Frag    int
+	Site    int
+	Variant int
+	Work    float64
+}
+
+// Send is one recorded shipment.
+type Send struct {
+	Exchange    int
+	FromFrag    int
+	FromSite    int
+	FromVariant int
+	ToSite      int
+	Bytes       float64
+}
+
+// Trace is the execution record the clock consumes.
+type Trace struct {
+	// Order lists fragment IDs in dependency order (producers first).
+	Order []int
+	// Instances grouped by fragment ID.
+	Instances map[int][]Instance
+	// Sends is every shipment.
+	Sends []Send
+	// Consumer maps exchange ID → consuming fragment ID.
+	Consumer map[int]int
+	// RootFrag is the fragment whose finish time is the query time.
+	RootFrag int
+}
+
+type instKey struct{ frag, site, variant int }
+
+// Makespan computes the modeled query response time.
+func Makespan(tr *Trace, p Params) time.Duration {
+	if p.WorkPerSec <= 0 {
+		p = DefaultParams()
+	}
+	load := p.LoadFactor
+	if load < 1 {
+		load = 1
+	}
+	finish := make(map[instKey]float64)
+
+	// Index sends by (consumer fragment, site).
+	type edgeKey struct{ frag, site int }
+	arrivals := make(map[edgeKey][]Send)
+	for _, s := range tr.Sends {
+		cons, ok := tr.Consumer[s.Exchange]
+		if !ok {
+			continue
+		}
+		k := edgeKey{cons, s.ToSite}
+		arrivals[k] = append(arrivals[k], s)
+	}
+
+	var rootFinish float64
+	for _, fid := range tr.Order {
+		insts := tr.Instances[fid]
+		// Per-site thread count of this fragment (variants).
+		threads := make(map[int]int)
+		for _, in := range insts {
+			threads[in.Site]++
+		}
+		for _, in := range insts {
+			ready := 0.0
+			for _, s := range arrivals[edgeKey{fid, in.Site}] {
+				sf := finish[instKey{s.FromFrag, s.FromSite, s.FromVariant}]
+				arr := sf + p.LatencySec + s.Bytes/p.BytesPerSec
+				if arr > ready {
+					ready = arr
+				}
+			}
+			contention := 1.0
+			if t := threads[in.Site]; t > p.CoresPerSite {
+				contention = float64(t) / float64(p.CoresPerSite)
+			}
+			elapsed := p.ThreadOverheadSec + in.Work/p.WorkPerSec*contention*load
+			f := ready + elapsed
+			finish[instKey{fid, in.Site, in.Variant}] = f
+			if fid == tr.RootFrag && f > rootFinish {
+				rootFinish = f
+			}
+		}
+	}
+	return time.Duration(rootFinish * float64(time.Second))
+}
+
+// TotalWork sums all instance work (a parallelism-independent effort
+// metric used by ablation reports).
+func (tr *Trace) TotalWork() float64 {
+	var w float64
+	for _, insts := range tr.Instances {
+		for _, in := range insts {
+			w += in.Work
+		}
+	}
+	return w
+}
+
+// TotalBytes sums shipped bytes.
+func (tr *Trace) TotalBytes() float64 {
+	var b float64
+	for _, s := range tr.Sends {
+		b += s.Bytes
+	}
+	return b
+}

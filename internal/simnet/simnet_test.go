@@ -1,0 +1,161 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func params() Params {
+	return Params{
+		CoresPerSite:      4,
+		WorkPerSec:        1000,
+		LatencySec:        0.001,
+		BytesPerSec:       1e6,
+		ThreadOverheadSec: 0.0001,
+	}
+}
+
+func TestSingleFragmentMakespan(t *testing.T) {
+	tr := &Trace{
+		Order:     []int{0},
+		Instances: map[int][]Instance{0: {{Frag: 0, Site: 0, Work: 1000}}},
+		Consumer:  map[int]int{},
+		RootFrag:  0,
+	}
+	got := Makespan(tr, params())
+	want := time.Duration((0.0001 + 1.0) * float64(time.Second))
+	if got != want {
+		t.Errorf("makespan = %v, want %v", got, want)
+	}
+}
+
+func TestParallelSitesDoNotAdd(t *testing.T) {
+	// Two sender instances at different sites run in parallel; the root
+	// waits for the slower one plus the network edge.
+	tr := &Trace{
+		Order: []int{1, 0},
+		Instances: map[int][]Instance{
+			1: {{Frag: 1, Site: 0, Work: 500}, {Frag: 1, Site: 1, Work: 1000}},
+			0: {{Frag: 0, Site: 0, Work: 100}},
+		},
+		Sends: []Send{
+			{Exchange: 0, FromFrag: 1, FromSite: 0, ToSite: 0, Bytes: 1000},
+			{Exchange: 0, FromFrag: 1, FromSite: 1, ToSite: 0, Bytes: 1000},
+		},
+		Consumer: map[int]int{0: 0},
+		RootFrag: 0,
+	}
+	p := params()
+	got := Makespan(tr, p).Seconds()
+	// Slower sender: 0.0001 + 1.0; edge: 0.001 + 0.001; root: 0.0001 + 0.1.
+	want := 0.0001 + 1.0 + 0.001 + 0.001 + 0.0001 + 0.1
+	if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("makespan = %v, want %v", got, want)
+	}
+}
+
+func TestVariantsReduceMakespan(t *testing.T) {
+	mk := func(variants int) float64 {
+		insts := make([]Instance, variants)
+		for v := 0; v < variants; v++ {
+			insts[v] = Instance{Frag: 0, Site: 0, Variant: v, Work: 1000 / float64(variants)}
+		}
+		tr := &Trace{
+			Order:     []int{0},
+			Instances: map[int][]Instance{0: insts},
+			Consumer:  map[int]int{},
+			RootFrag:  0,
+		}
+		return Makespan(tr, params()).Seconds()
+	}
+	single, dual := mk(1), mk(2)
+	if dual >= single {
+		t.Errorf("2 variants (%v) not faster than 1 (%v)", dual, single)
+	}
+}
+
+func TestContentionAboveCores(t *testing.T) {
+	// 8 variants on a 4-core site: each instance slowed by 2x.
+	insts := make([]Instance, 8)
+	for v := range insts {
+		insts[v] = Instance{Frag: 0, Site: 0, Variant: v, Work: 125}
+	}
+	tr := &Trace{
+		Order:     []int{0},
+		Instances: map[int][]Instance{0: insts},
+		Consumer:  map[int]int{},
+		RootFrag:  0,
+	}
+	got := Makespan(tr, params()).Seconds()
+	want := 0.0001 + (125.0/1000)*2 // contention = 8/4
+	if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("contended makespan = %v, want %v", got, want)
+	}
+}
+
+func TestLoadFactorScalesCPU(t *testing.T) {
+	tr := &Trace{
+		Order:     []int{0},
+		Instances: map[int][]Instance{0: {{Frag: 0, Site: 0, Work: 1000}}},
+		Consumer:  map[int]int{},
+		RootFrag:  0,
+	}
+	p := params()
+	base := Makespan(tr, p).Seconds()
+	p.LoadFactor = 3
+	loaded := Makespan(tr, p).Seconds()
+	if loaded <= base*2 {
+		t.Errorf("load factor ignored: %v vs %v", loaded, base)
+	}
+}
+
+func TestNetworkBytesMatter(t *testing.T) {
+	mk := func(bytes float64) float64 {
+		tr := &Trace{
+			Order: []int{1, 0},
+			Instances: map[int][]Instance{
+				1: {{Frag: 1, Site: 1, Work: 10}},
+				0: {{Frag: 0, Site: 0, Work: 10}},
+			},
+			Sends:    []Send{{Exchange: 0, FromFrag: 1, FromSite: 1, ToSite: 0, Bytes: bytes}},
+			Consumer: map[int]int{0: 0},
+			RootFrag: 0,
+		}
+		return Makespan(tr, params()).Seconds()
+	}
+	if mk(1e6) <= mk(1000) {
+		t.Error("bytes shipped did not increase makespan")
+	}
+}
+
+func TestTraceTotals(t *testing.T) {
+	tr := &Trace{
+		Instances: map[int][]Instance{
+			0: {{Work: 10}, {Work: 20}},
+			1: {{Work: 5}},
+		},
+		Sends: []Send{{Bytes: 100}, {Bytes: 200}},
+	}
+	if got := tr.TotalWork(); got != 35 {
+		t.Errorf("TotalWork = %v", got)
+	}
+	if got := tr.TotalBytes(); got != 300 {
+		t.Errorf("TotalBytes = %v", got)
+	}
+}
+
+func TestDefaultParamsSane(t *testing.T) {
+	p := DefaultParams()
+	if p.CoresPerSite <= 0 || p.WorkPerSec <= 0 || p.BytesPerSec <= 0 {
+		t.Errorf("defaults invalid: %+v", p)
+	}
+	// Zero-value params fall back to defaults rather than dividing by 0.
+	tr := &Trace{
+		Order:     []int{0},
+		Instances: map[int][]Instance{0: {{Work: 100}}},
+		Consumer:  map[int]int{},
+	}
+	if Makespan(tr, Params{}) <= 0 {
+		t.Error("zero params produced non-positive makespan")
+	}
+}

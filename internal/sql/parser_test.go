@@ -1,0 +1,515 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustSelect(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	sel, err := ParseSelect(src)
+	if err != nil {
+		t.Fatalf("ParseSelect(%q): %v", src, err)
+	}
+	return sel
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT a, 1.5 FROM t WHERE x <> 'it''s' -- comment\n AND y >= 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	want := []string{"SELECT", "a", ",", "1.5", "FROM", "t", "WHERE", "x", "<>", "it's", "AND", "y", ">=", "2", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("token count %d, want %d: %v", len(texts), len(want), texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if kinds[9] != TokString {
+		t.Error("escaped string not lexed as string")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("SELECT 'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := Lex("SELECT @x"); err == nil {
+		t.Error("bad byte accepted")
+	}
+	if _, err := Lex("a ! b"); err == nil {
+		t.Error("lone ! accepted")
+	}
+	// != becomes <>.
+	toks, err := Lex("a != b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Text != "<>" {
+		t.Errorf("!= lexed as %q", toks[1].Text)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("/* block\ncomment */ SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "SELECT" {
+		t.Errorf("block comment not skipped: %v", toks[0])
+	}
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	sel := mustSelect(t, "SELECT a, b AS total FROM t WHERE a > 5 ORDER BY b DESC LIMIT 10")
+	if len(sel.Items) != 2 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	if sel.Items[1].Alias != "total" {
+		t.Errorf("alias = %q", sel.Items[1].Alias)
+	}
+	if sel.Where == nil {
+		t.Error("missing WHERE")
+	}
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Errorf("order by = %+v", sel.OrderBy)
+	}
+	if sel.Limit != 10 {
+		t.Errorf("limit = %d", sel.Limit)
+	}
+	tn, ok := sel.From[0].(*TableName)
+	if !ok || tn.Name != "t" {
+		t.Errorf("from = %+v", sel.From[0])
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM t")
+	if !sel.Items[0].Star {
+		t.Error("star not detected")
+	}
+	sel = mustSelect(t, "SELECT t.* FROM t")
+	if !sel.Items[0].Star {
+		t.Error("qualified star not detected")
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM employee INNER JOIN sales ON employee.id = sales.emp_id WHERE employee.id = 10`)
+	j, ok := sel.From[0].(*JoinRef)
+	if !ok || j.Type != JoinInner {
+		t.Fatalf("join = %+v", sel.From[0])
+	}
+	if _, ok := j.On.(*BinaryExpr); !ok {
+		t.Errorf("on = %+v", j.On)
+	}
+	// LEFT OUTER JOIN (TPC-H Q13).
+	sel = mustSelect(t, `SELECT * FROM customer LEFT OUTER JOIN orders ON c_custkey = o_custkey`)
+	j = sel.From[0].(*JoinRef)
+	if j.Type != JoinLeft {
+		t.Errorf("join type = %v", j.Type)
+	}
+	// Comma joins.
+	sel = mustSelect(t, `SELECT * FROM a, b, c WHERE a.x = b.x AND b.y = c.y`)
+	if len(sel.From) != 3 {
+		t.Errorf("comma join from = %d items", len(sel.From))
+	}
+	// Chained ANSI joins.
+	sel = mustSelect(t, `SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y`)
+	outer, ok := sel.From[0].(*JoinRef)
+	if !ok {
+		t.Fatal("chained join not a JoinRef")
+	}
+	if _, ok := outer.Left.(*JoinRef); !ok {
+		t.Error("chained join not left-deep")
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	sel := mustSelect(t, "SELECT n1.n_name FROM nation n1, nation AS n2")
+	t1 := sel.From[0].(*TableName)
+	t2 := sel.From[1].(*TableName)
+	if t1.Alias != "n1" || t2.Alias != "n2" {
+		t.Errorf("aliases = %q, %q", t1.Alias, t2.Alias)
+	}
+	id := sel.Items[0].Expr.(*Ident)
+	if id.Qualifier != "n1" || id.Name != "n_name" {
+		t.Errorf("qualified ident = %+v", id)
+	}
+}
+
+func TestParseSubqueries(t *testing.T) {
+	// Derived table.
+	sel := mustSelect(t, "SELECT x FROM (SELECT a AS x FROM t) sub WHERE x > 1")
+	sq, ok := sel.From[0].(*SubqueryRef)
+	if !ok || sq.Alias != "sub" {
+		t.Fatalf("derived table = %+v", sel.From[0])
+	}
+	// Scalar subquery.
+	sel = mustSelect(t, "SELECT a FROM t WHERE a > (SELECT AVG(a) FROM t)")
+	cmp := sel.Where.(*BinaryExpr)
+	if _, ok := cmp.R.(*SubqueryExpr); !ok {
+		t.Errorf("scalar subquery = %+v", cmp.R)
+	}
+	// IN subquery.
+	sel = mustSelect(t, "SELECT a FROM t WHERE a IN (SELECT b FROM u)")
+	in := sel.Where.(*InExpr)
+	if in.Select == nil || in.Negate {
+		t.Errorf("IN subquery = %+v", in)
+	}
+	// NOT EXISTS.
+	sel = mustSelect(t, "SELECT a FROM t WHERE NOT EXISTS (SELECT 1 FROM u WHERE u.b = t.a)")
+	un, ok := sel.Where.(*UnaryExpr)
+	if !ok || un.Op != "NOT" {
+		t.Fatalf("where = %+v", sel.Where)
+	}
+	if _, ok := un.E.(*ExistsExpr); !ok {
+		t.Errorf("exists = %+v", un.E)
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	sel := mustSelect(t, `SELECT a FROM t WHERE a BETWEEN 1 AND 10 AND b NOT LIKE 'x%' AND c IS NOT NULL AND d NOT IN (1, 2)`)
+	conj := sel.Where.(*BinaryExpr)
+	if conj.Op != "AND" {
+		t.Fatalf("top op = %s", conj.Op)
+	}
+	// Drill into the leftmost: ((a BETWEEN ... AND b NOT LIKE) AND c IS NOT NULL) AND d NOT IN
+	flat := flattenAnd(sel.Where)
+	if len(flat) != 4 {
+		t.Fatalf("conjuncts = %d", len(flat))
+	}
+	if b, ok := flat[0].(*BetweenExpr); !ok || b.Negate {
+		t.Errorf("between = %+v", flat[0])
+	}
+	if l, ok := flat[1].(*LikeExpr); !ok || !l.Negate {
+		t.Errorf("not like = %+v", flat[1])
+	}
+	if n, ok := flat[2].(*IsNullExpr); !ok || !n.Negate {
+		t.Errorf("is not null = %+v", flat[2])
+	}
+	if in, ok := flat[3].(*InExpr); !ok || !in.Negate || len(in.List) != 2 {
+		t.Errorf("not in = %+v", flat[3])
+	}
+}
+
+func flattenAnd(n Node) []Node {
+	if b, ok := n.(*BinaryExpr); ok && b.Op == "AND" {
+		return append(flattenAnd(b.L), flattenAnd(b.R)...)
+	}
+	return []Node{n}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sel := mustSelect(t, "SELECT a + b * c FROM t")
+	add := sel.Items[0].Expr.(*BinaryExpr)
+	if add.Op != "+" {
+		t.Fatalf("top = %s", add.Op)
+	}
+	mul := add.R.(*BinaryExpr)
+	if mul.Op != "*" {
+		t.Errorf("right = %s", mul.Op)
+	}
+	// AND binds tighter than OR.
+	sel = mustSelect(t, "SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	or := sel.Where.(*BinaryExpr)
+	if or.Op != "OR" {
+		t.Fatalf("top = %s", or.Op)
+	}
+	if and := or.R.(*BinaryExpr); and.Op != "AND" {
+		t.Errorf("right = %s", and.Op)
+	}
+	// Parentheses override.
+	sel = mustSelect(t, "SELECT (a + b) * c FROM t")
+	mul = sel.Items[0].Expr.(*BinaryExpr)
+	if mul.Op != "*" {
+		t.Errorf("parenthesized top = %s", mul.Op)
+	}
+}
+
+func TestParseAggregatesAndGroupBy(t *testing.T) {
+	sel := mustSelect(t, `SELECT l_returnflag, SUM(l_quantity) AS sum_qty, COUNT(*) AS cnt,
+		COUNT(DISTINCT l_suppkey) FROM lineitem GROUP BY l_returnflag HAVING COUNT(*) > 10`)
+	if len(sel.GroupBy) != 1 {
+		t.Fatalf("group by = %d", len(sel.GroupBy))
+	}
+	sum := sel.Items[1].Expr.(*FuncCall)
+	if sum.Name != "SUM" || len(sum.Args) != 1 {
+		t.Errorf("sum = %+v", sum)
+	}
+	cnt := sel.Items[2].Expr.(*FuncCall)
+	if !cnt.Star {
+		t.Errorf("count(*) = %+v", cnt)
+	}
+	dist := sel.Items[3].Expr.(*FuncCall)
+	if !dist.Distinct {
+		t.Errorf("count distinct = %+v", dist)
+	}
+	if sel.Having == nil {
+		t.Error("missing HAVING")
+	}
+}
+
+func TestParseDateAndInterval(t *testing.T) {
+	sel := mustSelect(t, `SELECT 1 FROM t WHERE d >= DATE '1994-01-01' AND d < DATE '1994-01-01' + INTERVAL '1' YEAR`)
+	flat := flattenAnd(sel.Where)
+	ge := flat[0].(*BinaryExpr)
+	if _, ok := ge.R.(*DateLit); !ok {
+		t.Errorf("date literal = %+v", ge.R)
+	}
+	lt := flat[1].(*BinaryExpr)
+	add := lt.R.(*BinaryExpr)
+	iv, ok := add.R.(*IntervalLit)
+	if !ok || iv.N != 1 || iv.Unit != "year" {
+		t.Errorf("interval = %+v", add.R)
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	sel := mustSelect(t, `SELECT SUM(CASE WHEN p_type LIKE 'PROMO%' THEN l_extendedprice ELSE 0 END) FROM lineitem`)
+	sum := sel.Items[0].Expr.(*FuncCall)
+	c := sum.Args[0].(*CaseExpr)
+	if len(c.Whens) != 1 || c.Else == nil {
+		t.Errorf("case = %+v", c)
+	}
+}
+
+func TestParseExtractSubstringCast(t *testing.T) {
+	sel := mustSelect(t, `SELECT EXTRACT(YEAR FROM o_orderdate), SUBSTRING(c_phone FROM 1 FOR 2),
+		CAST(a AS DOUBLE) FROM t`)
+	ex := sel.Items[0].Expr.(*ExtractExpr)
+	if ex.Field != "YEAR" {
+		t.Errorf("extract = %+v", ex)
+	}
+	sub := sel.Items[1].Expr.(*SubstringExpr)
+	if sub.From == nil || sub.For == nil {
+		t.Errorf("substring = %+v", sub)
+	}
+	cast := sel.Items[2].Expr.(*CastExpr)
+	if cast.Type != "DOUBLE" {
+		t.Errorf("cast = %+v", cast)
+	}
+	// Comma form of substring.
+	sel = mustSelect(t, "SELECT SUBSTRING(s, 1, 2) FROM t")
+	if _, ok := sel.Items[0].Expr.(*SubstringExpr); !ok {
+		t.Error("comma substring not parsed")
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt, err := Parse(`CREATE TABLE lineitem (
+		l_orderkey BIGINT NOT NULL,
+		l_quantity DECIMAL(15,2),
+		l_shipdate DATE,
+		l_comment VARCHAR(44),
+		PRIMARY KEY (l_orderkey)
+	) AFFINITY KEY (l_orderkey)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*CreateTableStmt)
+	if ct.Name != "lineitem" || len(ct.Columns) != 4 {
+		t.Fatalf("create table = %+v", ct)
+	}
+	if ct.Columns[1].Type != "DECIMAL" {
+		t.Errorf("type = %q", ct.Columns[1].Type)
+	}
+	if len(ct.PrimaryKey) != 1 || ct.PrimaryKey[0] != "l_orderkey" {
+		t.Errorf("pk = %v", ct.PrimaryKey)
+	}
+	if ct.AffinityKey != "l_orderkey" {
+		t.Errorf("affinity = %q", ct.AffinityKey)
+	}
+	// Replicated + inline primary key.
+	stmt, err = Parse(`CREATE REPLICATED TABLE nation (n_nationkey INTEGER PRIMARY KEY, n_name CHAR(25))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct = stmt.(*CreateTableStmt)
+	if !ct.Replicated || len(ct.PrimaryKey) != 1 {
+		t.Errorf("replicated table = %+v", ct)
+	}
+}
+
+func TestParseCreateIndexAndView(t *testing.T) {
+	stmt, err := Parse("CREATE INDEX idx_l_shipdate ON lineitem (l_shipdate DESC, l_orderkey)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := stmt.(*CreateIndexStmt)
+	if ci.Table != "lineitem" || len(ci.Columns) != 2 {
+		t.Errorf("create index = %+v", ci)
+	}
+	stmt, err = Parse("CREATE VIEW revenue AS SELECT l_suppkey FROM lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := stmt.(*CreateViewStmt)
+	if cv.Name != "revenue" || cv.Select == nil {
+		t.Errorf("create view = %+v", cv)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt, err := Parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*InsertStmt)
+	if ins.Table != "t" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Errorf("insert = %+v", ins)
+	}
+	stmt, err = Parse("INSERT INTO t VALUES (1, 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins := stmt.(*InsertStmt); ins.Columns != nil {
+		t.Errorf("column list = %v", ins.Columns)
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	stmt, err := Parse("EXPLAIN SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stmt.(*ExplainStmt); !ok {
+		t.Errorf("explain = %+v", stmt)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC a FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP a",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t extra garbage),(",
+		"SELECT CASE END FROM t",
+		"SELECT a FROM t WHERE a BETWEEN 1",
+		"CREATE SCHEMA x",
+		"INSERT INTO t",
+		"SELECT a b c FROM t",
+		"SELECT FROM t",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseNegativeNumbersAndUnary(t *testing.T) {
+	sel := mustSelect(t, "SELECT -a, -(1 + 2), +3 FROM t")
+	if _, ok := sel.Items[0].Expr.(*UnaryExpr); !ok {
+		t.Error("unary minus on column not parsed")
+	}
+	if _, ok := sel.Items[2].Expr.(*NumberLit); !ok {
+		t.Error("unary plus not elided")
+	}
+}
+
+func TestParseTPCHQ1Shape(t *testing.T) {
+	q1 := `SELECT l_returnflag, l_linestatus,
+		SUM(l_quantity) AS sum_qty,
+		SUM(l_extendedprice) AS sum_base_price,
+		SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+		SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+		AVG(l_quantity) AS avg_qty, AVG(l_extendedprice) AS avg_price,
+		AVG(l_discount) AS avg_disc, COUNT(*) AS count_order
+	FROM lineitem
+	WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY
+	GROUP BY l_returnflag, l_linestatus
+	ORDER BY l_returnflag, l_linestatus`
+	sel := mustSelect(t, q1)
+	if len(sel.Items) != 10 || len(sel.GroupBy) != 2 || len(sel.OrderBy) != 2 {
+		t.Errorf("Q1 shape: items=%d groupby=%d orderby=%d",
+			len(sel.Items), len(sel.GroupBy), len(sel.OrderBy))
+	}
+}
+
+func TestReservedWordRejectedAsAlias(t *testing.T) {
+	if _, err := Parse("SELECT a AS select FROM t"); err == nil {
+		t.Error("reserved word accepted as alias")
+	}
+}
+
+func TestParseIdentCaseInsensitivity(t *testing.T) {
+	sel := mustSelect(t, "select A from T wHeRe A = 1")
+	if !strings.EqualFold(sel.From[0].(*TableName).Name, "t") {
+		t.Error("case-insensitive keywords failed")
+	}
+}
+
+func TestParseAffinityAndReplicatedForms(t *testing.T) {
+	stmt, err := Parse(`CREATE TABLE ps (a BIGINT, b BIGINT, PRIMARY KEY (a, b)) AFFINITY KEY (b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*CreateTableStmt)
+	if len(ct.PrimaryKey) != 2 || ct.AffinityKey != "b" {
+		t.Errorf("ct = %+v", ct)
+	}
+	if _, err := Parse(`CREATE REPLICATED INDEX i ON t (a)`); err == nil {
+		t.Error("REPLICATED INDEX accepted")
+	}
+	if _, err := Parse(`CREATE REPLICATED VIEW v AS SELECT 1`); err == nil {
+		t.Error("REPLICATED VIEW accepted")
+	}
+}
+
+func TestParseDoublePrecisionAndTypes(t *testing.T) {
+	stmt, err := Parse(`CREATE TABLE t (a DOUBLE PRECISION, b DECIMAL(10, 2), c VARCHAR(25) NOT NULL, PRIMARY KEY (a))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*CreateTableStmt)
+	if ct.Columns[0].Type != "DOUBLE" || ct.Columns[1].Type != "DECIMAL" {
+		t.Errorf("types = %+v", ct.Columns)
+	}
+}
+
+func TestParseInSubqueryNegated(t *testing.T) {
+	sel := mustSelect(t, `SELECT a FROM t WHERE a NOT IN (SELECT b FROM u)`)
+	in := sel.Where.(*InExpr)
+	if !in.Negate || in.Select == nil {
+		t.Errorf("in = %+v", in)
+	}
+}
+
+func TestParseQuery15ViewShape(t *testing.T) {
+	// The Q15 CREATE VIEW must parse (the engine rejects it later).
+	stmt, err := Parse(`CREATE VIEW revenue0 AS
+		SELECT l_suppkey AS supplier_no, SUM(x) AS total FROM lineitem GROUP BY l_suppkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := stmt.(*CreateViewStmt)
+	if len(cv.Select.GroupBy) != 1 {
+		t.Errorf("view select = %+v", cv.Select)
+	}
+}
+
+func TestParseEmptyInListRejected(t *testing.T) {
+	if _, err := Parse(`SELECT a FROM t WHERE a IN ()`); err == nil {
+		t.Error("empty IN list accepted")
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	sel := mustSelect(t, `SELECT a FROM t WHERE ((((a = 1))))`)
+	if _, ok := sel.Where.(*BinaryExpr); !ok {
+		t.Errorf("where = %T", sel.Where)
+	}
+}

@@ -1,0 +1,381 @@
+// Package ssb implements the Star Schema Benchmark substrate (O'Neil et
+// al.): the LINEORDER fact table with four dimensions, a deterministic
+// generator, and the 13 queries in 4 flights. The deployment mirrors the
+// paper's §6.4 setup: LINEORDER partitioned on its order key, dimensions
+// partitioned on their primary keys except DDATE (replicated — it is tiny
+// and joined by every flight), with the paper's nine indexes.
+package ssb
+
+import (
+	"fmt"
+
+	"gignite"
+	"gignite/internal/types"
+)
+
+// DDL returns the five CREATE TABLE statements.
+func DDL() []string {
+	return []string{
+		`CREATE REPLICATED TABLE ddate (
+			d_datekey       BIGINT PRIMARY KEY,
+			d_date          VARCHAR(19),
+			d_month         VARCHAR(9),
+			d_year          BIGINT,
+			d_yearmonthnum  BIGINT,
+			d_yearmonth     VARCHAR(7),
+			d_weeknuminyear BIGINT)`,
+		`CREATE TABLE customer (
+			c_custkey    BIGINT PRIMARY KEY,
+			c_name       VARCHAR(25),
+			c_address    VARCHAR(25),
+			c_city       VARCHAR(10),
+			c_nation     VARCHAR(15),
+			c_region     VARCHAR(12),
+			c_phone      VARCHAR(15),
+			c_mktsegment VARCHAR(10))`,
+		`CREATE TABLE supplier (
+			s_suppkey BIGINT PRIMARY KEY,
+			s_name    VARCHAR(25),
+			s_address VARCHAR(25),
+			s_city    VARCHAR(10),
+			s_nation  VARCHAR(15),
+			s_region  VARCHAR(12),
+			s_phone   VARCHAR(15))`,
+		`CREATE TABLE part (
+			p_partkey   BIGINT PRIMARY KEY,
+			p_name      VARCHAR(22),
+			p_mfgr      VARCHAR(6),
+			p_category  VARCHAR(7),
+			p_brand1    VARCHAR(9),
+			p_color     VARCHAR(11),
+			p_type      VARCHAR(25),
+			p_size      BIGINT,
+			p_container VARCHAR(10))`,
+		`CREATE TABLE lineorder (
+			lo_orderkey      BIGINT,
+			lo_linenumber    BIGINT,
+			lo_custkey       BIGINT,
+			lo_partkey       BIGINT,
+			lo_suppkey       BIGINT,
+			lo_orderdate     BIGINT,
+			lo_orderpriority VARCHAR(15),
+			lo_shippriority  BIGINT,
+			lo_quantity      BIGINT,
+			lo_extendedprice BIGINT,
+			lo_ordtotalprice BIGINT,
+			lo_discount      BIGINT,
+			lo_revenue       BIGINT,
+			lo_supplycost    BIGINT,
+			lo_tax           BIGINT,
+			lo_commitdate    BIGINT,
+			lo_shipmode      VARCHAR(10),
+			PRIMARY KEY (lo_orderkey)) AFFINITY KEY (lo_orderkey)`,
+	}
+}
+
+// IndexDDL returns the paper's nine indexes: one per primary key plus the
+// four LINEORDER join columns (§6.4).
+func IndexDDL() []string {
+	return []string{
+		`CREATE INDEX idx_ddate_pk ON ddate (d_datekey)`,
+		`CREATE INDEX idx_customer_pk ON customer (c_custkey)`,
+		`CREATE INDEX idx_supplier_pk ON supplier (s_suppkey)`,
+		`CREATE INDEX idx_part_pk ON part (p_partkey)`,
+		`CREATE INDEX idx_lo_pk ON lineorder (lo_orderkey, lo_linenumber)`,
+		`CREATE INDEX idx_lo_orderdate ON lineorder (lo_orderdate)`,
+		`CREATE INDEX idx_lo_partkey ON lineorder (lo_partkey)`,
+		`CREATE INDEX idx_lo_suppkey ON lineorder (lo_suppkey)`,
+		`CREATE INDEX idx_lo_custkey ON lineorder (lo_custkey)`,
+	}
+}
+
+// TableNames lists the tables in load order.
+func TableNames() []string {
+	return []string{"ddate", "customer", "supplier", "part", "lineorder"}
+}
+
+// Gen is the deterministic SSB generator.
+type Gen struct {
+	SF   float64
+	Seed uint64
+}
+
+// NewGen creates a generator at the given scale factor.
+func NewGen(sf float64) *Gen { return &Gen{SF: sf, Seed: 0x5353422D} }
+
+type rng struct{ state uint64 }
+
+func (g *Gen) rowRNG(table string, row int64) *rng {
+	h := g.Seed
+	for i := 0; i < len(table); i++ {
+		h = (h ^ uint64(table[i])) * 0x100000001b3
+	}
+	h ^= uint64(row) * 0x9E3779B97F4A7C15
+	return &rng{state: h}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + int64(r.next()%uint64(hi-lo+1))
+}
+
+func (r *rng) pick(options []string) string {
+	return options[r.next()%uint64(len(options))]
+}
+
+// Counts returns base cardinalities at the scale factor.
+func (g *Gen) Counts() map[string]int64 {
+	scale := func(base float64) int64 {
+		n := int64(base * g.SF)
+		// Dimension tables keep a floor so that laptop scale factors do
+		// not shrink them below the selectivity granularity the queries
+		// assume (e.g. one supplier per region).
+		if n < 30 {
+			n = 30
+		}
+		return n
+	}
+	return map[string]int64{
+		"customer":  scale(30000),
+		"supplier":  scale(2000),
+		"part":      scale(200000),
+		"lineorder": scale(6000000),
+	}
+}
+
+var regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// nationsByRegion gives five nations per region (SSB style).
+var nationsByRegion = map[string][]string{
+	"AFRICA":      {"ALGERIA", "EGYPT", "ETHIOPIA", "KENYA", "MOROCCO"},
+	"AMERICA":     {"ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES"},
+	"ASIA":        {"CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM"},
+	"EUROPE":      {"FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM"},
+	"MIDDLE EAST": {"IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA", "EGYPT"},
+}
+
+var months = []string{"January", "February", "March", "April", "May", "June",
+	"July", "August", "September", "October", "November", "December"}
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+
+var shipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+
+var colors = []string{"almond", "antique", "aquamarine", "azure", "beige",
+	"bisque", "black", "blanched", "blue", "blush", "brown", "burlywood"}
+
+// cityOf derives an SSB city: the nation's first 9 bytes plus a digit.
+func cityOf(nation string, r *rng) string {
+	base := nation
+	if len(base) > 9 {
+		base = base[:9]
+	}
+	for len(base) < 9 {
+		base += " "
+	}
+	return fmt.Sprintf("%s%d", base, r.intn(0, 9))
+}
+
+// regionNation draws a (region, nation, city) triple.
+func regionNation(r *rng) (string, string, string) {
+	region := r.pick(regions)
+	nation := r.pick(nationsByRegion[region])
+	return region, nation, cityOf(nation, r)
+}
+
+// Table generates one table's rows.
+func (g *Gen) Table(name string) ([]types.Row, error) {
+	switch name {
+	case "ddate":
+		return g.dates(), nil
+	case "customer":
+		return g.customers(), nil
+	case "supplier":
+		return g.suppliers(), nil
+	case "part":
+		return g.parts(), nil
+	case "lineorder":
+		return g.lineorders(), nil
+	default:
+		return nil, fmt.Errorf("ssb: unknown table %s", name)
+	}
+}
+
+// dateRange covers 1992-01-01 .. 1998-12-31 like the official generator.
+func (g *Gen) dates() []types.Row {
+	var rows []types.Row
+	day := types.DateFromYMD(1992, 1, 1).I
+	end := types.DateFromYMD(1998, 12, 31).I
+	week := int64(1)
+	dayCount := 0
+	for d := day; d <= end; d++ {
+		t := types.NewDate(d).Time()
+		y, m, dd := t.Year(), int(t.Month()), t.Day()
+		if m == 1 && dd == 1 {
+			week = 1
+			dayCount = 0
+		}
+		dayCount++
+		if dayCount%7 == 1 && dayCount > 1 {
+			week++
+		}
+		datekey := int64(y*10000 + m*100 + dd)
+		rows = append(rows, types.Row{
+			types.NewInt(datekey),
+			types.NewString(t.Format("January 2, 2006")),
+			types.NewString(months[m-1]),
+			types.NewInt(int64(y)),
+			types.NewInt(int64(y*100 + m)),
+			types.NewString(fmt.Sprintf("%s%d", months[m-1][:3], y)),
+			types.NewInt(week),
+		})
+	}
+	return rows
+}
+
+func (g *Gen) customers() []types.Row {
+	n := g.Counts()["customer"]
+	rows := make([]types.Row, n)
+	for i := int64(0); i < n; i++ {
+		r := g.rowRNG("customer", i)
+		region, nation, city := regionNation(r)
+		rows[i] = types.Row{
+			types.NewInt(i + 1),
+			types.NewString(fmt.Sprintf("Customer#%09d", i+1)),
+			types.NewString(fmt.Sprintf("Address%d", r.intn(0, 99999))),
+			types.NewString(city),
+			types.NewString(nation),
+			types.NewString(region),
+			types.NewString(fmt.Sprintf("%02d-%03d-%04d", r.intn(10, 34), r.intn(100, 999), r.intn(1000, 9999))),
+			types.NewString(r.pick(segments)),
+		}
+	}
+	return rows
+}
+
+func (g *Gen) suppliers() []types.Row {
+	n := g.Counts()["supplier"]
+	rows := make([]types.Row, n)
+	for i := int64(0); i < n; i++ {
+		r := g.rowRNG("supplier", i)
+		region, nation, city := regionNation(r)
+		rows[i] = types.Row{
+			types.NewInt(i + 1),
+			types.NewString(fmt.Sprintf("Supplier#%09d", i+1)),
+			types.NewString(fmt.Sprintf("Address%d", r.intn(0, 99999))),
+			types.NewString(city),
+			types.NewString(nation),
+			types.NewString(region),
+			types.NewString(fmt.Sprintf("%02d-%03d-%04d", r.intn(10, 34), r.intn(100, 999), r.intn(1000, 9999))),
+		}
+	}
+	return rows
+}
+
+func (g *Gen) parts() []types.Row {
+	n := g.Counts()["part"]
+	rows := make([]types.Row, n)
+	for i := int64(0); i < n; i++ {
+		r := g.rowRNG("part", i)
+		mfgr := r.intn(1, 5)
+		cat := r.intn(1, 5)
+		brand := r.intn(1, 40)
+		rows[i] = types.Row{
+			types.NewInt(i + 1),
+			types.NewString(r.pick(colors) + " " + r.pick(colors)),
+			types.NewString(fmt.Sprintf("MFGR#%d", mfgr)),
+			types.NewString(fmt.Sprintf("MFGR#%d%d", mfgr, cat)),
+			types.NewString(fmt.Sprintf("MFGR#%d%d%02d", mfgr, cat, brand)),
+			types.NewString(r.pick(colors)),
+			types.NewString(fmt.Sprintf("TYPE%d", r.intn(1, 25))),
+			types.NewInt(r.intn(1, 50)),
+			types.NewString(fmt.Sprintf("CTR%d", r.intn(1, 10))),
+		}
+	}
+	return rows
+}
+
+// dateKeyAt converts an epoch day to a yyyymmdd key.
+func dateKeyAt(day int64) int64 {
+	t := types.NewDate(day).Time()
+	return int64(t.Year()*10000 + int(t.Month())*100 + t.Day())
+}
+
+func (g *Gen) lineorders() []types.Row {
+	counts := g.Counts()
+	n := counts["lineorder"]
+	start := types.DateFromYMD(1992, 1, 1).I
+	end := types.DateFromYMD(1998, 8, 2).I
+	rows := make([]types.Row, n)
+	order := int64(0)
+	line := int64(1)
+	for i := int64(0); i < n; i++ {
+		r := g.rowRNG("lineorder", i)
+		if line == 1 || line > r.intn(1, 7) {
+			order++
+			line = 1
+		}
+		day := r.intn(start, end)
+		qty := r.intn(1, 50)
+		price := r.intn(90000, 200000) / 100 * qty
+		discount := r.intn(0, 10)
+		revenue := price * (100 - discount) / 100
+		rows[i] = types.Row{
+			types.NewInt(order),
+			types.NewInt(line),
+			types.NewInt(r.intn(1, counts["customer"])),
+			types.NewInt(r.intn(1, counts["part"])),
+			types.NewInt(r.intn(1, counts["supplier"])),
+			types.NewInt(dateKeyAt(day)),
+			types.NewString("1-URGENT"),
+			types.NewInt(0),
+			types.NewInt(qty),
+			types.NewInt(price),
+			types.NewInt(price * 3),
+			types.NewInt(discount),
+			types.NewInt(revenue),
+			types.NewInt(price * 6 / 10),
+			types.NewInt(r.intn(0, 8)),
+			types.NewInt(dateKeyAt(day + r.intn(30, 90))),
+			types.NewString(r.pick(shipModes)),
+		}
+		line++
+	}
+	return rows
+}
+
+// Setup creates the SSB schema on an engine, loads generated data and
+// collects statistics.
+func Setup(e *gignite.Engine, sf float64) error {
+	for _, ddl := range DDL() {
+		if _, err := e.Exec(ddl); err != nil {
+			return fmt.Errorf("ssb: ddl: %w", err)
+		}
+	}
+	g := NewGen(sf)
+	for _, name := range TableNames() {
+		rows, err := g.Table(name)
+		if err != nil {
+			return err
+		}
+		if err := e.LoadTable(name, rows); err != nil {
+			return fmt.Errorf("ssb: load %s: %w", name, err)
+		}
+	}
+	for _, ddl := range IndexDDL() {
+		if _, err := e.Exec(ddl); err != nil {
+			return fmt.Errorf("ssb: index ddl: %w", err)
+		}
+	}
+	return e.Analyze()
+}

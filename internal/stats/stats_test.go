@@ -1,0 +1,279 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"gignite/internal/catalog"
+	"gignite/internal/expr"
+	"gignite/internal/logical"
+	"gignite/internal/types"
+)
+
+// fakeStats is a canned provider.
+type fakeStats struct {
+	rows map[string]int64
+	ndv  map[string]int64 // "table.column"
+}
+
+func (f fakeStats) RowCount(t string) int64 { return f.rows[t] }
+func (f fakeStats) NDV(t, c string) int64   { return f.ndv[t+"."+c] }
+func (f fakeStats) MinMax(t, c string) (types.Value, types.Value, bool) {
+	return types.Null, types.Null, false
+}
+
+func tbl(name string, cols ...string) *catalog.Table {
+	t := &catalog.Table{Name: name, PrimaryKey: []string{cols[0]}}
+	for _, c := range cols {
+		t.Columns = append(t.Columns, catalog.Column{Name: c, Kind: types.KindInt})
+	}
+	return t
+}
+
+func provider() fakeStats {
+	return fakeStats{
+		rows: map[string]int64{"orders": 10000, "lineitem": 60000, "nation": 25},
+		ndv: map[string]int64{
+			"orders.o_orderkey": 10000, "orders.o_custkey": 1000,
+			"lineitem.l_orderkey": 10000, "lineitem.l_suppkey": 100,
+			"nation.n_nationkey": 25,
+		},
+	}
+}
+
+func TestScanRowCountAndFallback(t *testing.T) {
+	e := New(provider(), false)
+	scan := logical.NewScan(tbl("orders", "o_orderkey", "o_custkey"), "")
+	if got := e.RowCount(scan); got != 10000 {
+		t.Errorf("scan rows = %v", got)
+	}
+	unknown := logical.NewScan(tbl("mystery", "x"), "")
+	if got := e.RowCount(unknown); got != defaultRowCount {
+		t.Errorf("fallback rows = %v", got)
+	}
+}
+
+func TestFilterSelectivity(t *testing.T) {
+	e := New(provider(), false)
+	scan := logical.NewScan(tbl("orders", "o_orderkey", "o_custkey"), "")
+	// Equality on o_custkey: NDV 1000 → sel 1/1000 → 10 rows.
+	pred := expr.NewBinOp(expr.OpEq,
+		expr.NewColRef(1, types.KindInt, "o_custkey"),
+		expr.NewLit(types.NewInt(5)))
+	f := logical.NewFilter(scan, pred)
+	if got := e.RowCount(f); math.Abs(got-10) > 0.01 {
+		t.Errorf("eq filter rows = %v, want 10", got)
+	}
+	// Range: 0.5.
+	rangePred := expr.NewBinOp(expr.OpLt,
+		expr.NewColRef(0, types.KindInt, ""), expr.NewLit(types.NewInt(5)))
+	if got := e.RowCount(logical.NewFilter(scan, rangePred)); got != 5000 {
+		t.Errorf("range filter rows = %v", got)
+	}
+	// AND multiplies.
+	both := expr.NewBinOp(expr.OpAnd, pred, rangePred)
+	if got := e.RowCount(logical.NewFilter(scan, both)); math.Abs(got-5) > 0.01 {
+		t.Errorf("and filter rows = %v", got)
+	}
+}
+
+func TestSelectivityKinds(t *testing.T) {
+	e := New(provider(), false)
+	scan := logical.NewScan(tbl("orders", "o_orderkey", "o_custkey"), "")
+	col := expr.NewColRef(0, types.KindInt, "")
+	cases := []struct {
+		pred expr.Expr
+		want float64
+	}{
+		{expr.NewLike(expr.NewColRef(1, types.KindString, ""), "x%", false), defaultLikeSel},
+		{expr.NewIsNull(col, false), 0.1},
+		{expr.NewIsNull(col, true), 0.9},
+		{expr.True, 1},
+		{expr.False, 0},
+		{expr.NewNot(expr.NewLike(expr.NewColRef(1, types.KindString, ""), "x%", false)), 1 - defaultLikeSel},
+	}
+	for _, c := range cases {
+		if got := e.Selectivity(c.pred, scan); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("sel(%s) = %v, want %v", c.pred, got, c.want)
+		}
+	}
+	// OR: union estimate.
+	a := expr.NewBinOp(expr.OpLt, col, expr.NewLit(types.NewInt(1)))
+	or := expr.NewBinOp(expr.OpOr, a, a)
+	if got := e.Selectivity(or, scan); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("or sel = %v, want 0.75", got)
+	}
+}
+
+func joinOf(e *Estimator, leftRows ...int) *logical.Join {
+	orders := logical.NewScan(tbl("orders", "o_orderkey", "o_custkey"), "")
+	line := logical.NewScan(tbl("lineitem", "l_orderkey", "l_suppkey"), "")
+	cond := expr.NewBinOp(expr.OpEq,
+		expr.NewColRef(0, types.KindInt, ""), // o_orderkey
+		expr.NewColRef(2, types.KindInt, "")) // l_orderkey (offset by left width 2)
+	return logical.NewJoin(orders, line, logical.JoinInner, cond)
+}
+
+func TestSwamiSchieferJoinEstimate(t *testing.T) {
+	e := New(provider(), false)
+	j := joinOf(e)
+	// |A|=10000, |B|=60000, max(d)=10000 → 60000.
+	if got := e.RowCount(j); math.Abs(got-60000) > 1 {
+		t.Errorf("eq3 estimate = %v, want 60000", got)
+	}
+}
+
+func TestLegacyJoinCollapseBug(t *testing.T) {
+	e := New(provider(), true)
+	// A filtered input estimated at ~1 row triggers the collapse.
+	orders := logical.NewScan(tbl("orders", "o_orderkey", "o_custkey"), "")
+	tiny := logical.NewFilter(orders, expr.NewBinOp(expr.OpEq,
+		expr.NewColRef(0, types.KindInt, "o_orderkey"), expr.NewLit(types.NewInt(7))))
+	line := logical.NewScan(tbl("lineitem", "l_orderkey", "l_suppkey"), "")
+	cond := expr.NewBinOp(expr.OpEq,
+		expr.NewColRef(0, types.KindInt, ""), expr.NewColRef(2, types.KindInt, ""))
+	j := logical.NewJoin(tiny, line, logical.JoinInner, cond)
+	if got := e.RowCount(j); got != 1 {
+		t.Fatalf("legacy collapse estimate = %v, want 1", got)
+	}
+	// Chained joins inherit the 1 — the paper's N×1 chain.
+	j2 := logical.NewJoin(j, logical.NewScan(tbl("nation", "n_nationkey"), ""),
+		logical.JoinInner, expr.NewBinOp(expr.OpEq,
+			expr.NewColRef(1, types.KindInt, ""), expr.NewColRef(4, types.KindInt, "")))
+	if got := e.RowCount(j2); got != 1 {
+		t.Errorf("chained legacy estimate = %v, want 1", got)
+	}
+	// Equation 3 does not collapse: 10000/10000 * 60000/10000... with the
+	// filter, |A|≈1, |B|=60000, d=10000 → ~6 rows.
+	e3 := New(provider(), false)
+	if got := e3.RowCount(j); got < 2 {
+		t.Errorf("eq3 estimate = %v, want > 1", got)
+	}
+}
+
+func TestCrossJoinEstimate(t *testing.T) {
+	e := New(provider(), false)
+	a := logical.NewScan(tbl("orders", "o_orderkey", "o_custkey"), "")
+	b := logical.NewScan(tbl("nation", "n_nationkey"), "")
+	j := logical.NewJoin(a, b, logical.JoinInner, expr.True)
+	if got := e.RowCount(j); got != 250000 {
+		t.Errorf("cross join = %v, want 250000", got)
+	}
+}
+
+func TestSemiAntiEstimates(t *testing.T) {
+	e := New(provider(), false)
+	a := logical.NewScan(tbl("orders", "o_orderkey", "o_custkey"), "")
+	b := logical.NewScan(tbl("nation", "n_nationkey"), "")
+	semi := logical.NewJoin(a, b, logical.JoinSemi, expr.True)
+	anti := logical.NewJoin(a, b, logical.JoinAnti, expr.True)
+	sr, ar := e.RowCount(semi), e.RowCount(anti)
+	if sr <= 0 || sr > 10000 || ar <= 0 || ar > 10000 {
+		t.Errorf("semi=%v anti=%v", sr, ar)
+	}
+}
+
+func TestAggregateEstimate(t *testing.T) {
+	e := New(provider(), false)
+	line := logical.NewScan(tbl("lineitem", "l_orderkey", "l_suppkey"), "")
+	// Group by l_suppkey: 100 groups.
+	agg := logical.NewAggregate(line, []int{1}, nil)
+	if got := e.RowCount(agg); got != 100 {
+		t.Errorf("group rows = %v", got)
+	}
+	// Scalar aggregate: 1 row.
+	scalar := logical.NewAggregate(line, nil, []expr.AggCall{{Func: expr.AggCount}})
+	if got := e.RowCount(scalar); got != 1 {
+		t.Errorf("scalar agg rows = %v", got)
+	}
+}
+
+func TestLimitSortProjectEstimates(t *testing.T) {
+	e := New(provider(), false)
+	line := logical.NewScan(tbl("lineitem", "l_orderkey", "l_suppkey"), "")
+	if got := e.RowCount(logical.NewLimit(line, 10)); got != 10 {
+		t.Errorf("limit rows = %v", got)
+	}
+	if got := e.RowCount(logical.NewSort(line, nil)); got != 60000 {
+		t.Errorf("sort rows = %v", got)
+	}
+	proj := logical.IdentityProject(line, []int{0})
+	if got := e.RowCount(proj); got != 60000 {
+		t.Errorf("project rows = %v", got)
+	}
+	if got := e.NDV(proj, 0); got != 10000 {
+		t.Errorf("project ndv = %v", got)
+	}
+}
+
+func TestNDVThroughJoin(t *testing.T) {
+	e := New(provider(), false)
+	j := joinOf(e)
+	if got := e.NDV(j, 1); got != 1000 { // o_custkey from left
+		t.Errorf("join left ndv = %v", got)
+	}
+	if got := e.NDV(j, 3); got != 100 { // l_suppkey from right
+		t.Errorf("join right ndv = %v", got)
+	}
+}
+
+// rangeStats is a provider with min/max information.
+type rangeStats struct {
+	fakeStats
+	min, max map[string]int64
+}
+
+func (r rangeStats) MinMax(t, c string) (types.Value, types.Value, bool) {
+	k := t + "." + c
+	mn, ok1 := r.min[k]
+	mx, ok2 := r.max[k]
+	if !ok1 || !ok2 {
+		return types.Null, types.Null, false
+	}
+	return types.NewInt(mn), types.NewInt(mx), true
+}
+
+func TestRangeSelectivityInterpolates(t *testing.T) {
+	prov := rangeStats{
+		fakeStats: provider(),
+		min:       map[string]int64{"orders.o_orderkey": 0},
+		max:       map[string]int64{"orders.o_orderkey": 10000},
+	}
+	e := New(prov, false)
+	scan := logical.NewScan(tbl("orders", "o_orderkey", "o_custkey"), "")
+	col := expr.NewColRef(0, types.KindInt, "o_orderkey")
+	// o_orderkey < 1000 over [0, 10000] → 10%.
+	lt := expr.NewBinOp(expr.OpLt, col, expr.NewLit(types.NewInt(1000)))
+	if got := e.Selectivity(lt, scan); math.Abs(got-0.1) > 0.01 {
+		t.Errorf("sel(< 1000) = %v, want 0.1", got)
+	}
+	// o_orderkey > 9000 → 10%.
+	gt := expr.NewBinOp(expr.OpGt, col, expr.NewLit(types.NewInt(9000)))
+	if got := e.Selectivity(gt, scan); math.Abs(got-0.1) > 0.01 {
+		t.Errorf("sel(> 9000) = %v, want 0.1", got)
+	}
+	// Constant on the left commutes: 9000 < col ≡ col > 9000.
+	rev := expr.NewBinOp(expr.OpLt, expr.NewLit(types.NewInt(9000)), col)
+	if got := e.Selectivity(rev, scan); math.Abs(got-0.1) > 0.01 {
+		t.Errorf("sel(9000 < col) = %v, want 0.1", got)
+	}
+	// Out-of-range literals clamp (with the non-zero floor).
+	over := expr.NewBinOp(expr.OpGt, col, expr.NewLit(types.NewInt(99999)))
+	if got := e.Selectivity(over, scan); got > 0.01 {
+		t.Errorf("sel(> max) = %v, want ~0", got)
+	}
+	// Opposite-direction bounds on the same column combine into a window
+	// estimate: [5000, 5500] over [0, 10000] → 5% (the TPC-H date-window
+	// shape; naive independence would say 27.5%).
+	ge := expr.NewBinOp(expr.OpGe, col, expr.NewLit(types.NewInt(5000)))
+	le := expr.NewBinOp(expr.OpLe, col, expr.NewLit(types.NewInt(5500)))
+	window := expr.NewBinOp(expr.OpAnd, ge, le)
+	if got := e.Selectivity(window, scan); math.Abs(got-0.05) > 0.005 {
+		t.Errorf("window sel = %v, want 0.05", got)
+	}
+	// Without min/max, the Calcite default applies.
+	noStats := New(provider(), false)
+	if got := noStats.Selectivity(lt, scan); got != defaultRangeSel {
+		t.Errorf("fallback sel = %v, want %v", got, defaultRangeSel)
+	}
+}

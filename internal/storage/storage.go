@@ -1,0 +1,339 @@
+// Package storage implements gignite's in-memory partitioned row store —
+// the substrate Apache Ignite provides in the composed system the paper
+// studies. Partitioned tables hash their affinity key across N sites;
+// replicated tables keep a full copy at every site. Secondary indexes are
+// per-partition sorted permutations, giving index scans a collation the
+// planner can exploit (the paper's Q14 sort-order improvement relies on
+// this).
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"gignite/internal/catalog"
+	"gignite/internal/types"
+)
+
+// PartitionOf returns the partition for an affinity-key value among n
+// sites. It is exported because the distributed hash-join mapping must
+// compute the same placement the storage layer used.
+func PartitionOf(v types.Value, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(v.Hash() % uint64(n))
+}
+
+// Store is the cluster-wide storage: every site's partitions live here,
+// indexed by site ordinal. One Store instance backs one simulated cluster.
+type Store struct {
+	mu     sync.RWMutex
+	sites  int
+	cat    *catalog.Catalog
+	tables map[string]*TableData
+}
+
+// NewStore creates storage for a cluster of the given size.
+func NewStore(cat *catalog.Catalog, sites int) *Store {
+	if sites < 1 {
+		sites = 1
+	}
+	return &Store{sites: sites, cat: cat, tables: make(map[string]*TableData)}
+}
+
+// Sites returns the cluster size.
+func (s *Store) Sites() int { return s.sites }
+
+// Catalog returns the catalog backing this store.
+func (s *Store) Catalog() *catalog.Catalog { return s.cat }
+
+// TableData is the stored content of one table across all sites.
+type TableData struct {
+	Def *catalog.Table
+	// partitions[site] is the rows stored at that site. For replicated
+	// tables every site holds an identical full copy (stored once,
+	// aliased), so reads at any site see all rows.
+	partitions [][]types.Row
+	// indexes[name][site] is a row-ordinal permutation of partitions[site]
+	// sorted by the index key columns.
+	indexes map[string][][]int
+	// keyCols caches each index's key column ordinals.
+	keyCols map[string][]int
+}
+
+// ensureTable returns (creating if needed) the TableData for a table.
+func (s *Store) ensureTable(name string) (*TableData, error) {
+	key := strings.ToLower(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if td, ok := s.tables[key]; ok {
+		return td, nil
+	}
+	def, err := s.cat.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	td := &TableData{
+		Def:        def,
+		partitions: make([][]types.Row, s.sites),
+		indexes:    make(map[string][][]int),
+		keyCols:    make(map[string][]int),
+	}
+	s.tables[key] = td
+	return td, nil
+}
+
+// Table returns the TableData for a table, creating the (empty) storage on
+// first touch.
+func (s *Store) Table(name string) (*TableData, error) {
+	s.mu.RLock()
+	td, ok := s.tables[strings.ToLower(name)]
+	s.mu.RUnlock()
+	if ok {
+		return td, nil
+	}
+	return s.ensureTable(name)
+}
+
+// Load bulk-inserts rows into a table, distributing partitioned tables by
+// affinity-key hash and copying replicated tables to all sites. Indexes
+// must be built afterwards with BuildIndexes; Load invalidates them.
+func (s *Store) Load(name string, rows []types.Row) error {
+	td, err := s.ensureTable(name)
+	if err != nil {
+		return err
+	}
+	width := len(td.Def.Columns)
+	for _, r := range rows {
+		if len(r) != width {
+			return fmt.Errorf("storage: row width %d does not match table %s (%d columns)",
+				len(r), td.Def.Name, width)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if td.Def.Replicated {
+		// Store the single copy in partition 0; readers at any site read
+		// partition 0 via Partition().
+		td.partitions[0] = append(td.partitions[0], rows...)
+	} else {
+		aff := td.Def.AffinityOrdinal()
+		for _, r := range rows {
+			p := PartitionOf(r[aff], s.sites)
+			td.partitions[p] = append(td.partitions[p], r)
+		}
+	}
+	// Any previously built indexes are stale now.
+	td.indexes = make(map[string][][]int)
+	td.keyCols = make(map[string][]int)
+	return nil
+}
+
+// BuildIndexes (re)builds all catalog-declared indexes for a table.
+func (s *Store) BuildIndexes(name string) error {
+	td, err := s.Table(name)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, idx := range td.Def.Indexes {
+		cols := make([]int, len(idx.Columns))
+		for i, cn := range idx.Columns {
+			cols[i] = td.Def.ColumnIndex(cn)
+		}
+		keys := make([]types.SortKey, len(cols))
+		for i, c := range cols {
+			keys[i] = types.SortKey{Col: c}
+		}
+		perSite := make([][]int, s.sites)
+		for site := 0; site < s.sites; site++ {
+			rowsAt := td.partitionLocked(site)
+			perm := make([]int, len(rowsAt))
+			for i := range perm {
+				perm[i] = i
+			}
+			sort.SliceStable(perm, func(a, b int) bool {
+				return types.CompareRows(rowsAt[perm[a]], rowsAt[perm[b]], keys) < 0
+			})
+			perSite[site] = perm
+		}
+		lname := strings.ToLower(idx.Name)
+		td.indexes[lname] = perSite
+		td.keyCols[lname] = cols
+	}
+	return nil
+}
+
+// partitionLocked returns the rows visible at a site (caller holds s.mu).
+func (td *TableData) partitionLocked(site int) []types.Row {
+	if td.Def.Replicated {
+		return td.partitions[0]
+	}
+	return td.partitions[site]
+}
+
+// Partition returns the rows visible at a site. For replicated tables this
+// is the full table regardless of site.
+func (s *Store) Partition(name string, site int) ([]types.Row, error) {
+	td, err := s.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	if site < 0 || site >= s.sites {
+		return nil, fmt.Errorf("storage: site %d out of range [0,%d)", site, s.sites)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return td.partitionLocked(site), nil
+}
+
+// IndexScan returns the rows at a site in index order. If lo/hi are
+// non-nil they bound the leading key column (inclusive): rows with leading
+// key < lo or > hi are excluded via binary search.
+func (s *Store) IndexScan(name, index string, site int, lo, hi *types.Value) ([]types.Row, error) {
+	td, err := s.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lname := strings.ToLower(index)
+	perm, ok := td.indexes[lname]
+	if !ok {
+		return nil, fmt.Errorf("storage: index %s on %s not built", index, name)
+	}
+	if site < 0 || site >= s.sites {
+		return nil, fmt.Errorf("storage: site %d out of range [0,%d)", site, s.sites)
+	}
+	rowsAt := td.partitionLocked(site)
+	p := perm[site]
+	if td.Def.Replicated {
+		p = perm[0]
+	}
+	leadCol := td.keyCols[lname][0]
+	start, end := 0, len(p)
+	if lo != nil {
+		start = sort.Search(len(p), func(i int) bool {
+			return types.Compare(rowsAt[p[i]][leadCol], *lo) >= 0
+		})
+	}
+	if hi != nil {
+		end = sort.Search(len(p), func(i int) bool {
+			return types.Compare(rowsAt[p[i]][leadCol], *hi) > 0
+		})
+	}
+	if start > end {
+		start = end
+	}
+	out := make([]types.Row, 0, end-start)
+	for _, ri := range p[start:end] {
+		out = append(out, rowsAt[ri])
+	}
+	return out, nil
+}
+
+// RowCount returns the total number of rows in a table across sites
+// (counting replicated tables once).
+func (s *Store) RowCount(name string) (int64, error) {
+	td, err := s.Table(name)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if td.Def.Replicated {
+		return int64(len(td.partitions[0])), nil
+	}
+	var n int64
+	for _, p := range td.partitions {
+		n += int64(len(p))
+	}
+	return n, nil
+}
+
+// PartitionSites returns the number of sites that hold a partition of the
+// table: 1 for replicated tables (the paper's Algorithm 2 treats a
+// replicated relation as a single partition), else the cluster size.
+func (s *Store) PartitionSites(name string) (int, error) {
+	td, err := s.Table(name)
+	if err != nil {
+		return 0, err
+	}
+	if td.Def.Replicated {
+		return 1, nil
+	}
+	return s.sites, nil
+}
+
+// ComputeStats scans a table and fills its catalog statistics: row count,
+// per-column NDV and min/max. It mirrors Ignite running with statistics
+// collection enabled.
+func (s *Store) ComputeStats(name string) error {
+	td, err := s.Table(name)
+	if err != nil {
+		return err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cols := td.Def.Columns
+	distinct := make([]map[uint64][]types.Value, len(cols))
+	for i := range distinct {
+		distinct[i] = make(map[uint64][]types.Value)
+	}
+	mins := make([]types.Value, len(cols))
+	maxs := make([]types.Value, len(cols))
+	var count int64
+	limit := s.sites
+	if td.Def.Replicated {
+		limit = 1
+	}
+	for site := 0; site < limit; site++ {
+		for _, r := range td.partitionLocked(site) {
+			count++
+			for i, v := range r {
+				if v.IsNull() {
+					continue
+				}
+				h := v.Hash()
+				found := false
+				for _, ex := range distinct[i][h] {
+					if types.Equal(ex, v) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					distinct[i][h] = append(distinct[i][h], v)
+				}
+				if mins[i].IsNull() || types.Compare(v, mins[i]) < 0 {
+					mins[i] = v
+				}
+				if maxs[i].IsNull() || types.Compare(v, maxs[i]) > 0 {
+					maxs[i] = v
+				}
+			}
+		}
+	}
+	stats := &catalog.TableStats{
+		RowCount: count,
+		NDV:      make(map[string]int64, len(cols)),
+		Min:      make(map[string]types.Value, len(cols)),
+		Max:      make(map[string]types.Value, len(cols)),
+	}
+	for i, c := range cols {
+		var ndv int64
+		for _, bucket := range distinct[i] {
+			ndv += int64(len(bucket))
+		}
+		lc := strings.ToLower(c.Name)
+		stats.NDV[lc] = ndv
+		stats.Min[lc] = mins[i]
+		stats.Max[lc] = maxs[i]
+	}
+	td.Def.Stats = stats
+	return nil
+}

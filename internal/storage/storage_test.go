@@ -1,0 +1,276 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gignite/internal/catalog"
+	"gignite/internal/types"
+)
+
+func newTestStore(t *testing.T, sites int) *Store {
+	t.Helper()
+	cat := catalog.New()
+	err := cat.AddTable(&catalog.Table{
+		Name: "emp",
+		Columns: []catalog.Column{
+			{Name: "id", Kind: types.KindInt},
+			{Name: "name", Kind: types.KindString},
+			{Name: "dept", Kind: types.KindInt},
+		},
+		PrimaryKey: []string{"id"},
+		Indexes: []catalog.Index{
+			{Name: "emp_pk", Columns: []string{"id"}},
+			{Name: "emp_dept", Columns: []string{"dept", "id"}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cat.AddTable(&catalog.Table{
+		Name:       "region",
+		Columns:    []catalog.Column{{Name: "r_key", Kind: types.KindInt}},
+		Replicated: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewStore(cat, sites)
+}
+
+func empRows(n int) []types.Row {
+	out := make([]types.Row, n)
+	for i := 0; i < n; i++ {
+		out[i] = types.Row{
+			types.NewInt(int64(i)),
+			types.NewString("emp" + string(rune('a'+i%26))),
+			types.NewInt(int64(i % 5)),
+		}
+	}
+	return out
+}
+
+func TestLoadPartitionsCompleteAndDisjoint(t *testing.T) {
+	s := newTestStore(t, 4)
+	rows := empRows(100)
+	if err := s.Load("emp", rows); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]int)
+	for site := 0; site < 4; site++ {
+		part, err := s.Partition("emp", site)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range part {
+			seen[r[0].Int()]++
+		}
+		// Each row must be in the partition its affinity hash dictates.
+		for _, r := range part {
+			if got := PartitionOf(r[0], 4); got != site {
+				t.Errorf("row id=%d at site %d, hash says %d", r[0].Int(), site, got)
+			}
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("partitions cover %d of 100 rows", len(seen))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("row %d appears %d times", id, n)
+		}
+	}
+	if n, _ := s.RowCount("emp"); n != 100 {
+		t.Errorf("RowCount = %d", n)
+	}
+}
+
+func TestReplicatedVisibleEverywhere(t *testing.T) {
+	s := newTestStore(t, 4)
+	rows := []types.Row{{types.NewInt(1)}, {types.NewInt(2)}}
+	if err := s.Load("region", rows); err != nil {
+		t.Fatal(err)
+	}
+	for site := 0; site < 4; site++ {
+		part, err := s.Partition("region", site)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(part) != 2 {
+			t.Errorf("site %d sees %d replicated rows", site, len(part))
+		}
+	}
+	if n, _ := s.RowCount("region"); n != 2 {
+		t.Errorf("RowCount counts copies: %d", n)
+	}
+	if ps, _ := s.PartitionSites("region"); ps != 1 {
+		t.Errorf("PartitionSites(replicated) = %d, want 1", ps)
+	}
+	if ps, _ := s.PartitionSites("emp"); ps != 4 {
+		t.Errorf("PartitionSites(emp) = %d, want 4", ps)
+	}
+}
+
+func TestLoadValidatesWidth(t *testing.T) {
+	s := newTestStore(t, 2)
+	if err := s.Load("emp", []types.Row{{types.NewInt(1)}}); err == nil {
+		t.Error("accepted short row")
+	}
+	if err := s.Load("missing", nil); err == nil {
+		t.Error("accepted unknown table")
+	}
+}
+
+func TestIndexScanOrderAndRange(t *testing.T) {
+	s := newTestStore(t, 2)
+	// Insert in reverse order so index ordering is observable.
+	rows := empRows(50)
+	for i, j := 0, len(rows)-1; i < j; i, j = i+1, j-1 {
+		rows[i], rows[j] = rows[j], rows[i]
+	}
+	if err := s.Load("emp", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BuildIndexes("emp"); err != nil {
+		t.Fatal(err)
+	}
+	for site := 0; site < 2; site++ {
+		got, err := s.IndexScan("emp", "EMP_PK", site, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1][0].Int() > got[i][0].Int() {
+				t.Fatalf("site %d index scan out of order at %d", site, i)
+			}
+		}
+	}
+	// Range scan on the leading column.
+	lo, hi := types.NewInt(10), types.NewInt(20)
+	var total int
+	for site := 0; site < 2; site++ {
+		got, err := s.IndexScan("emp", "emp_pk", site, &lo, &hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range got {
+			if id := r[0].Int(); id < 10 || id > 20 {
+				t.Errorf("range scan returned id %d", id)
+			}
+		}
+		total += len(got)
+	}
+	if total != 11 {
+		t.Errorf("range [10,20] returned %d rows, want 11", total)
+	}
+	// Composite index sorts by (dept, id).
+	got, err := s.IndexScan("emp", "emp_dept", 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		d0, d1 := got[i-1][2].Int(), got[i][2].Int()
+		if d0 > d1 || (d0 == d1 && got[i-1][0].Int() > got[i][0].Int()) {
+			t.Fatalf("composite index out of order at %d", i)
+		}
+	}
+}
+
+func TestIndexScanErrors(t *testing.T) {
+	s := newTestStore(t, 2)
+	if err := s.Load("emp", empRows(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.IndexScan("emp", "emp_pk", 0, nil, nil); err == nil {
+		t.Error("index scan before BuildIndexes succeeded")
+	}
+	if err := s.BuildIndexes("emp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.IndexScan("emp", "nope", 0, nil, nil); err == nil {
+		t.Error("scan of unknown index succeeded")
+	}
+	if _, err := s.IndexScan("emp", "emp_pk", 9, nil, nil); err == nil {
+		t.Error("scan of out-of-range site succeeded")
+	}
+	if _, err := s.Partition("emp", -1); err == nil {
+		t.Error("negative site accepted")
+	}
+}
+
+func TestLoadInvalidatesIndexes(t *testing.T) {
+	s := newTestStore(t, 1)
+	if err := s.Load("emp", empRows(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BuildIndexes("emp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load("emp", empRows(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.IndexScan("emp", "emp_pk", 0, nil, nil); err == nil {
+		t.Error("stale index usable after Load")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := newTestStore(t, 4)
+	if err := s.Load("emp", empRows(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ComputeStats("emp"); err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := s.Catalog().Table("emp")
+	if tb.Stats == nil {
+		t.Fatal("stats not set")
+	}
+	if tb.Stats.RowCount != 100 {
+		t.Errorf("RowCount = %d", tb.Stats.RowCount)
+	}
+	if got := tb.Stats.NDVOf("id"); got != 100 {
+		t.Errorf("NDV(id) = %d", got)
+	}
+	if got := tb.Stats.NDVOf("dept"); got != 5 {
+		t.Errorf("NDV(dept) = %d", got)
+	}
+	if mn := tb.Stats.Min["id"]; mn.Int() != 0 {
+		t.Errorf("Min(id) = %v", mn)
+	}
+	if mx := tb.Stats.Max["id"]; mx.Int() != 99 {
+		t.Errorf("Max(id) = %v", mx)
+	}
+}
+
+// TestPartitioningProperty: for any values and any site count, partitions
+// are complete (every row lands somewhere valid) and placement is
+// deterministic.
+func TestPartitioningProperty(t *testing.T) {
+	f := func(keys []int64, sitesRaw uint8) bool {
+		sites := int(sitesRaw%8) + 1
+		for _, k := range keys {
+			v := types.NewInt(k)
+			p := PartitionOf(v, sites)
+			if p < 0 || p >= sites {
+				return false
+			}
+			if p != PartitionOf(v, sites) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionOfSingleSite(t *testing.T) {
+	if PartitionOf(types.NewInt(12345), 1) != 0 {
+		t.Error("single-site partition != 0")
+	}
+	if PartitionOf(types.NewInt(12345), 0) != 0 {
+		t.Error("zero-site partition != 0")
+	}
+}

@@ -1,0 +1,113 @@
+package tpch
+
+import (
+	"fmt"
+	"testing"
+
+	"gignite"
+)
+
+// TestRandomTPCHQueryDifferential fuzzes query shapes over the real TPC-H
+// schema and data, comparing the distributed IC+M engine against the
+// reference interpreter. Unlike the fixed 22-query suite, the generator
+// explores join/filter/aggregation combinations the benchmark itself
+// never uses.
+func TestRandomTPCHQueryDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads TPC-H")
+	}
+	e := setupEngine(t, gignite.ICPlusM(4))
+	g := &tpchQueryGen{state: 0x7C47}
+	const n = 60
+	for i := 0; i < n; i++ {
+		q := g.query()
+		got, err := e.Query(q)
+		if err != nil {
+			t.Fatalf("fuzz %d: %v\n%s", i, err, q)
+		}
+		want, err := e.ReferenceQuery(q)
+		if err != nil {
+			t.Fatalf("fuzz %d reference: %v\n%s", i, err, q)
+		}
+		cg, cw := canonical(got.Rows), canonical(want)
+		if len(cg) != len(cw) {
+			t.Fatalf("fuzz %d: %d rows vs reference %d\n%s", i, len(cg), len(cw), q)
+		}
+		for r := range cg {
+			if !approxEqualRows(cg[r], cw[r]) {
+				t.Fatalf("fuzz %d row %d:\n  engine:    %s\n  reference: %s\n%s",
+					i, r, cg[r], cw[r], q)
+			}
+		}
+	}
+}
+
+type tpchQueryGen struct{ state uint64 }
+
+func (g *tpchQueryGen) next() uint64 {
+	g.state = g.state*6364136223846793005 + 1442695040888963407
+	return g.state >> 33
+}
+
+func (g *tpchQueryGen) intn(n int) int { return int(g.next() % uint64(n)) }
+
+func (g *tpchQueryGen) pick(opts ...string) string { return opts[g.next()%uint64(len(opts))] }
+
+func (g *tpchQueryGen) linePred() string {
+	switch g.intn(5) {
+	case 0:
+		return fmt.Sprintf("l_quantity %s %d", g.pick("<", ">", "<=", ">="), 1+g.intn(50))
+	case 1:
+		return fmt.Sprintf("l_shipdate >= DATE '199%d-0%d-01'", 2+g.intn(6), 1+g.intn(9))
+	case 2:
+		return fmt.Sprintf("l_discount BETWEEN 0.0%d AND 0.0%d", g.intn(5), 5+g.intn(5))
+	case 3:
+		return fmt.Sprintf("l_returnflag = '%s'", g.pick("R", "A", "N"))
+	default:
+		return fmt.Sprintf("l_shipmode IN ('%s', '%s')",
+			g.pick("AIR", "RAIL", "SHIP"), g.pick("MAIL", "TRUCK", "FOB"))
+	}
+}
+
+func (g *tpchQueryGen) orderPred() string {
+	switch g.intn(3) {
+	case 0:
+		return fmt.Sprintf("o_orderdate < DATE '199%d-01-01'", 3+g.intn(6))
+	case 1:
+		return fmt.Sprintf("o_orderpriority = '%s'", g.pick("1-URGENT", "2-HIGH", "5-LOW"))
+	default:
+		return fmt.Sprintf("o_totalprice > %d", 1000*(1+g.intn(300)))
+	}
+}
+
+func (g *tpchQueryGen) query() string {
+	switch g.intn(5) {
+	case 0: // single-table aggregate
+		return fmt.Sprintf(`SELECT l_returnflag, COUNT(*), SUM(l_quantity), AVG(l_extendedprice)
+			FROM lineitem WHERE %s GROUP BY l_returnflag ORDER BY l_returnflag`, g.linePred())
+	case 1: // fact-dim join through orders
+		return fmt.Sprintf(`SELECT o_orderpriority, COUNT(*) AS n
+			FROM orders, lineitem
+			WHERE o_orderkey = l_orderkey AND %s AND %s
+			GROUP BY o_orderpriority ORDER BY n DESC, o_orderpriority`,
+			g.orderPred(), g.linePred())
+	case 2: // replicated-dimension join
+		return fmt.Sprintf(`SELECT n_name, COUNT(*) AS n
+			FROM supplier, nation
+			WHERE s_nationkey = n_nationkey AND s_acctbal > %d
+			GROUP BY n_name ORDER BY n DESC, n_name LIMIT %d`,
+			-1000+g.intn(5000), 1+g.intn(10))
+	case 3: // semi join via IN
+		return fmt.Sprintf(`SELECT c_mktsegment, COUNT(*)
+			FROM customer WHERE c_custkey IN
+			(SELECT o_custkey FROM orders WHERE %s)
+			GROUP BY c_mktsegment ORDER BY c_mktsegment`, g.orderPred())
+	default: // three-way join with top-N
+		return fmt.Sprintf(`SELECT s_name, SUM(l_extendedprice) AS rev
+			FROM supplier, lineitem, orders
+			WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey
+			AND %s AND %s
+			GROUP BY s_name ORDER BY rev DESC, s_name LIMIT %d`,
+			g.linePred(), g.orderPred(), 1+g.intn(20))
+	}
+}

@@ -1,0 +1,34 @@
+package tpch
+
+import (
+	"fmt"
+
+	"gignite"
+)
+
+// Setup creates the TPC-H schema and indexes on an engine, generates data
+// at the given scale factor, loads it and collects statistics. It is the
+// one-call path the examples, tests and benchmarks use.
+func Setup(e *gignite.Engine, sf float64) error {
+	for _, ddl := range DDL() {
+		if _, err := e.Exec(ddl); err != nil {
+			return fmt.Errorf("tpch: ddl: %w", err)
+		}
+	}
+	g := NewGen(sf)
+	for _, name := range TableNames() {
+		rows, err := g.Table(name)
+		if err != nil {
+			return err
+		}
+		if err := e.LoadTable(name, rows); err != nil {
+			return fmt.Errorf("tpch: load %s: %w", name, err)
+		}
+	}
+	for _, ddl := range IndexDDL() {
+		if _, err := e.Exec(ddl); err != nil {
+			return fmt.Errorf("tpch: index ddl: %w", err)
+		}
+	}
+	return e.Analyze()
+}

@@ -1,0 +1,115 @@
+// Package tpch implements the TPC-H substrate of the reproduction: the
+// eight-table schema (with the paper's Ignite-style partitioning: fact
+// tables hash-partitioned on their primary keys, NATION and REGION
+// replicated), a deterministic in-process data generator following the
+// official distributions, and the 22 benchmark queries with the standard
+// validation substitution parameters.
+package tpch
+
+// DDL returns the CREATE TABLE statements. Partitioned tables declare
+// their affinity keys; NATION and REGION are replicated, matching the
+// deployment the paper benchmarks.
+func DDL() []string {
+	return []string{
+		`CREATE REPLICATED TABLE region (
+			r_regionkey BIGINT PRIMARY KEY,
+			r_name      VARCHAR(25),
+			r_comment   VARCHAR(152))`,
+		`CREATE REPLICATED TABLE nation (
+			n_nationkey BIGINT PRIMARY KEY,
+			n_name      VARCHAR(25),
+			n_regionkey BIGINT,
+			n_comment   VARCHAR(152))`,
+		`CREATE TABLE supplier (
+			s_suppkey   BIGINT PRIMARY KEY,
+			s_name      VARCHAR(25),
+			s_address   VARCHAR(40),
+			s_nationkey BIGINT,
+			s_phone     VARCHAR(15),
+			s_acctbal   DECIMAL(15,2),
+			s_comment   VARCHAR(101))`,
+		`CREATE TABLE customer (
+			c_custkey    BIGINT PRIMARY KEY,
+			c_name       VARCHAR(25),
+			c_address    VARCHAR(40),
+			c_nationkey  BIGINT,
+			c_phone      VARCHAR(15),
+			c_acctbal    DECIMAL(15,2),
+			c_mktsegment VARCHAR(10),
+			c_comment    VARCHAR(117))`,
+		`CREATE TABLE part (
+			p_partkey     BIGINT PRIMARY KEY,
+			p_name        VARCHAR(55),
+			p_mfgr        VARCHAR(25),
+			p_brand       VARCHAR(10),
+			p_type        VARCHAR(25),
+			p_size        BIGINT,
+			p_container   VARCHAR(10),
+			p_retailprice DECIMAL(15,2),
+			p_comment     VARCHAR(23))`,
+		`CREATE TABLE partsupp (
+			ps_partkey    BIGINT,
+			ps_suppkey    BIGINT,
+			ps_availqty   BIGINT,
+			ps_supplycost DECIMAL(15,2),
+			ps_comment    VARCHAR(199),
+			PRIMARY KEY (ps_partkey)) AFFINITY KEY (ps_partkey)`,
+		`CREATE TABLE orders (
+			o_orderkey      BIGINT PRIMARY KEY,
+			o_custkey       BIGINT,
+			o_orderstatus   VARCHAR(1),
+			o_totalprice    DECIMAL(15,2),
+			o_orderdate     DATE,
+			o_orderpriority VARCHAR(15),
+			o_clerk         VARCHAR(15),
+			o_shippriority  BIGINT,
+			o_comment       VARCHAR(79))`,
+		`CREATE TABLE lineitem (
+			l_orderkey      BIGINT,
+			l_partkey       BIGINT,
+			l_suppkey       BIGINT,
+			l_linenumber    BIGINT,
+			l_quantity      DECIMAL(15,2),
+			l_extendedprice DECIMAL(15,2),
+			l_discount      DECIMAL(15,2),
+			l_tax           DECIMAL(15,2),
+			l_returnflag    VARCHAR(1),
+			l_linestatus    VARCHAR(1),
+			l_shipdate      DATE,
+			l_commitdate    DATE,
+			l_receiptdate   DATE,
+			l_shipinstruct  VARCHAR(25),
+			l_shipmode      VARCHAR(10),
+			l_comment       VARCHAR(44),
+			PRIMARY KEY (l_orderkey)) AFFINITY KEY (l_orderkey)`,
+	}
+}
+
+// IndexDDL returns the paper's 16 secondary indexes: one per primary key
+// plus the join/filter columns its evaluation exercises.
+func IndexDDL() []string {
+	return []string{
+		`CREATE INDEX idx_region_pk ON region (r_regionkey)`,
+		`CREATE INDEX idx_nation_pk ON nation (n_nationkey)`,
+		`CREATE INDEX idx_supplier_pk ON supplier (s_suppkey)`,
+		`CREATE INDEX idx_supplier_nation ON supplier (s_nationkey)`,
+		`CREATE INDEX idx_customer_pk ON customer (c_custkey)`,
+		`CREATE INDEX idx_customer_nation ON customer (c_nationkey)`,
+		`CREATE INDEX idx_part_pk ON part (p_partkey)`,
+		`CREATE INDEX idx_part_size ON part (p_size)`,
+		`CREATE INDEX idx_partsupp_pk ON partsupp (ps_partkey, ps_suppkey)`,
+		`CREATE INDEX idx_partsupp_supp ON partsupp (ps_suppkey)`,
+		`CREATE INDEX idx_orders_pk ON orders (o_orderkey)`,
+		`CREATE INDEX idx_orders_cust ON orders (o_custkey)`,
+		`CREATE INDEX idx_orders_date ON orders (o_orderdate)`,
+		`CREATE INDEX idx_lineitem_pk ON lineitem (l_orderkey, l_linenumber)`,
+		`CREATE INDEX idx_lineitem_ship ON lineitem (l_shipdate)`,
+		`CREATE INDEX idx_lineitem_part ON lineitem (l_partkey)`,
+	}
+}
+
+// TableNames lists the schema's tables in load order.
+func TableNames() []string {
+	return []string{"region", "nation", "supplier", "customer", "part",
+		"partsupp", "orders", "lineitem"}
+}

@@ -1,0 +1,316 @@
+// Package types defines the value model shared by every layer of gignite:
+// scalar values, rows, field schemas, comparison and hashing. It is the
+// lowest layer of the system; every other package depends on it and it
+// depends only on the standard library.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Kind enumerates the scalar types supported by the engine. The set mirrors
+// what the TPC-H and SSB schemas require: integers, decimals (represented as
+// float64, as Ignite's cost-relevant behaviour does not depend on exact
+// decimal semantics), character data, booleans and dates.
+type Kind uint8
+
+const (
+	// KindNull is the type of an untyped NULL literal.
+	KindNull Kind = iota
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit IEEE-754 floating point number, used for the
+	// benchmark DECIMAL columns.
+	KindFloat
+	// KindString is a variable-length character string.
+	KindString
+	// KindBool is a boolean.
+	KindBool
+	// KindDate is a calendar date, stored as days since 1970-01-01 (UTC).
+	KindDate
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "BIGINT"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	case KindBool:
+		return "BOOLEAN"
+	case KindDate:
+		return "DATE"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Numeric reports whether the kind is an arithmetic type.
+func (k Kind) Numeric() bool { return k == KindInt || k == KindFloat }
+
+// Value is a single scalar datum. It is a compact tagged union: numeric and
+// date payloads live in I/F, strings in S. Values are immutable by
+// convention; nothing in the engine mutates a Value in place.
+type Value struct {
+	K Kind
+	I int64 // KindInt payload; KindDate days-since-epoch; KindBool 0/1
+	F float64
+	S string
+}
+
+// Null is the NULL value.
+var Null = Value{K: KindNull}
+
+// NewInt returns an integer value.
+func NewInt(v int64) Value { return Value{K: KindInt, I: v} }
+
+// NewFloat returns a floating point value.
+func NewFloat(v float64) Value { return Value{K: KindFloat, F: v} }
+
+// NewString returns a string value.
+func NewString(v string) Value { return Value{K: KindString, S: v} }
+
+// NewBool returns a boolean value.
+func NewBool(v bool) Value {
+	if v {
+		return Value{K: KindBool, I: 1}
+	}
+	return Value{K: KindBool}
+}
+
+// NewDate returns a date value from days since the Unix epoch.
+func NewDate(days int64) Value { return Value{K: KindDate, I: days} }
+
+// DateFromYMD builds a date value from a calendar date.
+func DateFromYMD(year, month, day int) Value {
+	t := time.Date(year, time.Month(month), day, 0, 0, 0, 0, time.UTC)
+	return NewDate(t.Unix() / 86400)
+}
+
+// ParseDate parses a YYYY-MM-DD literal.
+func ParseDate(s string) (Value, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return Null, fmt.Errorf("invalid date literal %q: %w", s, err)
+	}
+	return NewDate(t.Unix() / 86400), nil
+}
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// Bool returns the boolean payload. It panics if the value is not a boolean;
+// callers must check the kind (or nullness) first.
+func (v Value) Bool() bool {
+	if v.K != KindBool {
+		panic(fmt.Sprintf("types: Bool() on %s value", v.K))
+	}
+	return v.I != 0
+}
+
+// Int returns the integer payload, converting from float if necessary.
+func (v Value) Int() int64 {
+	switch v.K {
+	case KindInt, KindDate, KindBool:
+		return v.I
+	case KindFloat:
+		return int64(v.F)
+	default:
+		panic(fmt.Sprintf("types: Int() on %s value", v.K))
+	}
+}
+
+// Float returns the numeric payload widened to float64.
+func (v Value) Float() float64 {
+	switch v.K {
+	case KindInt, KindDate:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	default:
+		panic(fmt.Sprintf("types: Float() on %s value", v.K))
+	}
+}
+
+// Str returns the string payload.
+func (v Value) Str() string {
+	if v.K != KindString {
+		panic(fmt.Sprintf("types: Str() on %s value", v.K))
+	}
+	return v.S
+}
+
+// Time returns the date payload as a time.Time (UTC midnight).
+func (v Value) Time() time.Time {
+	if v.K != KindDate {
+		panic(fmt.Sprintf("types: Time() on %s value", v.K))
+	}
+	return time.Unix(v.I*86400, 0).UTC()
+}
+
+// String renders the value for display and plan digests.
+func (v Value) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case KindDate:
+		return v.Time().Format("2006-01-02")
+	default:
+		return fmt.Sprintf("Value(%d)", uint8(v.K))
+	}
+}
+
+// Compare orders two values. NULL sorts before everything; numeric kinds
+// compare after widening to float64 when mixed; dates compare as day
+// numbers. Comparing incompatible kinds (e.g. string vs int) panics, which
+// indicates a binder bug rather than a user error.
+func Compare(a, b Value) int {
+	if a.K == KindNull || b.K == KindNull {
+		switch {
+		case a.K == b.K:
+			return 0
+		case a.K == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch {
+	case a.K == KindString && b.K == KindString:
+		switch {
+		case a.S < b.S:
+			return -1
+		case a.S > b.S:
+			return 1
+		default:
+			return 0
+		}
+	case a.K == KindBool && b.K == KindBool:
+		return cmpInt64(a.I, b.I)
+	case a.K == KindDate && b.K == KindDate:
+		return cmpInt64(a.I, b.I)
+	case a.K == KindInt && b.K == KindInt:
+		return cmpInt64(a.I, b.I)
+	case a.K.Numeric() && b.K.Numeric():
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	default:
+		panic(fmt.Sprintf("types: cannot compare %s with %s", a.K, b.K))
+	}
+}
+
+// Equal reports whether two values compare equal under the grouping/hashing
+// notion: NULL groups with NULL, numerics compare after widening, and values
+// of incompatible kinds are simply unequal (no panic — join probes may
+// legitimately see heterogeneous keys before the binder coerces them).
+func Equal(a, b Value) bool {
+	if a.K == KindNull && b.K == KindNull {
+		return true
+	}
+	if a.K == KindNull || b.K == KindNull {
+		return false
+	}
+	if !comparableKinds(a.K, b.K) {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+func comparableKinds(a, b Kind) bool {
+	if a == b {
+		return true
+	}
+	return a.Numeric() && b.Numeric()
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Hash returns a 64-bit hash of the value (FNV-1a). Numeric kinds hash by
+// their canonical widened representation so that 1 and 1.0 collide, matching
+// Equal/Compare semantics for grouping.
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	mix64 := func(u uint64) {
+		for i := 0; i < 8; i++ {
+			mix(byte(u >> (8 * i)))
+		}
+	}
+	switch v.K {
+	case KindNull:
+		mix(0)
+	case KindInt, KindDate, KindBool:
+		mix(1)
+		mix64(uint64(v.I))
+	case KindFloat:
+		if v.F == math.Trunc(v.F) && v.F >= math.MinInt64 && v.F <= math.MaxInt64 {
+			mix(1) // canonical with the equal integer
+			mix64(uint64(int64(v.F)))
+		} else {
+			mix(2)
+			mix64(math.Float64bits(v.F))
+		}
+	case KindString:
+		mix(3)
+		for i := 0; i < len(v.S); i++ {
+			mix(v.S[i])
+		}
+	}
+	return h
+}
+
+// Width returns the modeled byte width of the value, used by the cost model
+// and the simulated network to account for shipped bytes.
+func (v Value) Width() int64 {
+	switch v.K {
+	case KindNull:
+		return 1
+	case KindInt, KindFloat, KindDate:
+		return 8
+	case KindBool:
+		return 1
+	case KindString:
+		return int64(len(v.S))
+	default:
+		return 8
+	}
+}

@@ -1,0 +1,189 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if v := NewInt(42); v.K != KindInt || v.Int() != 42 {
+		t.Errorf("NewInt: got %v", v)
+	}
+	if v := NewFloat(2.5); v.K != KindFloat || v.Float() != 2.5 {
+		t.Errorf("NewFloat: got %v", v)
+	}
+	if v := NewString("abc"); v.K != KindString || v.Str() != "abc" {
+		t.Errorf("NewString: got %v", v)
+	}
+	if v := NewBool(true); !v.Bool() {
+		t.Errorf("NewBool(true): got %v", v)
+	}
+	if v := NewBool(false); v.Bool() {
+		t.Errorf("NewBool(false): got %v", v)
+	}
+	if !Null.IsNull() {
+		t.Error("Null.IsNull() = false")
+	}
+	if NewInt(1).IsNull() {
+		t.Error("NewInt(1).IsNull() = true")
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	v, err := ParseDate("1995-03-15")
+	if err != nil {
+		t.Fatalf("ParseDate: %v", err)
+	}
+	if got := v.String(); got != "1995-03-15" {
+		t.Errorf("date round trip: got %q", got)
+	}
+	if v2 := DateFromYMD(1995, 3, 15); v2 != v {
+		t.Errorf("DateFromYMD mismatch: %v vs %v", v2, v)
+	}
+	if _, err := ParseDate("not-a-date"); err == nil {
+		t.Error("ParseDate accepted garbage")
+	}
+	epoch := DateFromYMD(1970, 1, 1)
+	if epoch.I != 0 {
+		t.Errorf("epoch day = %d, want 0", epoch.I)
+	}
+	next := DateFromYMD(1970, 1, 2)
+	if next.I != 1 {
+		t.Errorf("epoch+1 day = %d, want 1", next.I)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewFloat(1.0), NewInt(1), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{NewBool(false), NewBool(true), -1},
+		{DateFromYMD(1995, 1, 1), DateFromYMD(1996, 1, 1), -1},
+		{Null, NewInt(0), -1},
+		{NewInt(0), Null, 1},
+		{Null, Null, 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareIncompatiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Compare(string, int) did not panic")
+		}
+	}()
+	Compare(NewString("x"), NewInt(1))
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Null, Null) {
+		t.Error("grouping Equal(Null, Null) = false")
+	}
+	if Equal(Null, NewInt(0)) {
+		t.Error("Equal(Null, 0) = true")
+	}
+	if !Equal(NewInt(3), NewFloat(3)) {
+		t.Error("Equal(3, 3.0) = false")
+	}
+}
+
+func TestHashConsistentWithEqual(t *testing.T) {
+	// 3 and 3.0 must hash identically because they group together.
+	if NewInt(3).Hash() != NewFloat(3).Hash() {
+		t.Error("hash(3) != hash(3.0)")
+	}
+	if NewString("abc").Hash() == NewString("abd").Hash() {
+		t.Error("suspicious string hash collision on near strings")
+	}
+	if NewInt(1).Hash() == NewInt(2).Hash() {
+		t.Error("hash(1) == hash(2)")
+	}
+}
+
+func TestHashEqualProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		if Equal(va, vb) {
+			return va.Hash() == vb.Hash()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		return Compare(NewFloat(a), NewFloat(b)) == -Compare(NewFloat(b), NewFloat(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewInt(-7), "-7"},
+		{NewFloat(2.5), "2.5"},
+		{NewString("hi"), "hi"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestWidth(t *testing.T) {
+	if w := NewString("hello").Width(); w != 5 {
+		t.Errorf("string width = %d, want 5", w)
+	}
+	if w := NewInt(1).Width(); w != 8 {
+		t.Errorf("int width = %d, want 8", w)
+	}
+	if w := NewBool(true).Width(); w != 1 {
+		t.Errorf("bool width = %d, want 1", w)
+	}
+	r := Row{NewInt(1), NewString("ab")}
+	if w := r.Width(); w != 10 {
+		t.Errorf("row width = %d, want 10", w)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindNull: "NULL", KindInt: "BIGINT", KindFloat: "DOUBLE",
+		KindString: "VARCHAR", KindBool: "BOOLEAN", KindDate: "DATE",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if !KindInt.Numeric() || !KindFloat.Numeric() || KindString.Numeric() {
+		t.Error("Numeric() misclassifies kinds")
+	}
+}

@@ -1,0 +1,322 @@
+package volcano
+
+import (
+	"math/bits"
+
+	"gignite/internal/expr"
+	"gignite/internal/logical"
+)
+
+// This file implements the join-order exploration that Calcite's
+// JoinCommuteRule + JoinPushThroughJoinRule perform in the memo. gignite
+// realizes the same search as dynamic programming over connected subsets
+// of each inner-join cluster, charging the ticket budget per candidate
+// considered. Cyclic join graphs (TPC-H Q2/Q5/Q9) generate far more
+// connected splits than tree-shaped ones and exhaust the single-phase
+// budget — reproducing the paper's planning failures.
+
+// maxDPLeaves bounds the DP (2^n subsets); clusters beyond it keep their
+// syntactic order.
+const maxDPLeaves = 12
+
+// joinCluster is one maximal tree of adjacent inner joins.
+type joinCluster struct {
+	leaves  []logical.Node
+	offsets []int       // global column offset of each leaf
+	conds   []expr.Expr // join conjuncts over the global (in-order) layout
+	width   int
+}
+
+// exploreJoinOrders rewrites every maximal inner-join cluster in the plan
+// into its best DP order, top-down so nested joins fold into one cluster.
+func (p *Planner) exploreJoinOrders(plan logical.Node) (logical.Node, error) {
+	if j, ok := plan.(*logical.Join); ok && j.Type == logical.JoinInner {
+		cl := extractCluster(j)
+		// Recurse into the cluster leaves first (they may contain further
+		// clusters under aggregates, semi joins, etc.).
+		for i, leaf := range cl.leaves {
+			nl, err := p.exploreJoinOrders(leaf)
+			if err != nil {
+				return nil, err
+			}
+			cl.leaves[i] = nl
+		}
+		if len(cl.leaves) >= 3 && len(cl.leaves) <= maxDPLeaves && !cl.hasEmptyLeaf() {
+			return p.dpJoinOrder(cl)
+		}
+		// Cluster too small or too large for DP: keep the syntactic shape
+		// with rewritten leaves.
+		return cl.rebuildSyntactic(), nil
+	}
+	inputs := plan.Inputs()
+	if len(inputs) == 0 {
+		return plan, nil
+	}
+	newInputs := make([]logical.Node, len(inputs))
+	for i, in := range inputs {
+		ni, err := p.exploreJoinOrders(in)
+		if err != nil {
+			return nil, err
+		}
+		newInputs[i] = ni
+	}
+	return plan.WithInputs(newInputs), nil
+}
+
+// hasEmptyLeaf reports whether any leaf has a zero-width schema (which
+// would break subset bookkeeping; such plans skip DP).
+func (cl *joinCluster) hasEmptyLeaf() bool {
+	for _, l := range cl.leaves {
+		if len(l.Schema()) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// rebuildSyntactic reassembles the cluster left-deep in leaf order,
+// attaching each condition at the first join that covers it.
+func (cl *joinCluster) rebuildSyntactic() logical.Node {
+	node := cl.leaves[0]
+	covered := uint(1)
+	attached := make([]bool, len(cl.conds))
+	for i := 1; i < len(cl.leaves); i++ {
+		covered |= 1 << i
+		var conds []expr.Expr
+		for ci, c := range cl.conds {
+			if attached[ci] {
+				continue
+			}
+			if cl.condMask(c)&^covered == 0 {
+				conds = append(conds, c) // global layout == left-deep layout
+				attached[ci] = true
+			}
+		}
+		node = logical.NewJoin(node, cl.leaves[i], logical.JoinInner, expr.Conjunction(conds))
+	}
+	return node
+}
+
+// extractCluster flattens a tree of adjacent inner joins into leaves and
+// conjuncts over the global in-order column layout.
+func extractCluster(root *logical.Join) *joinCluster {
+	cl := &joinCluster{}
+	var collect func(n logical.Node)
+	collect = func(n logical.Node) {
+		if j, ok := n.(*logical.Join); ok && j.Type == logical.JoinInner {
+			leftStart := cl.width
+			collect(j.Left)
+			collect(j.Right)
+			// The join's condition is over [left ++ right] which, given
+			// in-order collection, equals the global layout shifted by the
+			// cluster prefix before this subtree.
+			if !expr.IsLiteralTrue(j.Cond) {
+				shifted := expr.Shift(j.Cond, 0, leftStart)
+				cl.conds = append(cl.conds, expr.SplitConjuncts(shifted)...)
+			}
+			return
+		}
+		cl.leaves = append(cl.leaves, n)
+		cl.offsets = append(cl.offsets, cl.width)
+		cl.width += len(n.Schema())
+	}
+	collect(root)
+	return cl
+}
+
+// leafOf returns the leaf index owning a global column.
+func (cl *joinCluster) leafOf(col int) int {
+	for i := len(cl.leaves) - 1; i >= 0; i-- {
+		if col >= cl.offsets[i] {
+			return i
+		}
+	}
+	return 0
+}
+
+// condMask returns the bitmask of leaves a condition references.
+func (cl *joinCluster) condMask(c expr.Expr) uint {
+	var mask uint
+	for col := range expr.ColumnsUsed(c) {
+		mask |= 1 << cl.leafOf(col)
+	}
+	return mask
+}
+
+// dpEntry is the best plan found for one leaf subset.
+type dpEntry struct {
+	node logical.Node
+	// colPos maps global column ordinal → position in node's schema
+	// (-1 when the leaf is not in the subset).
+	colPos []int
+	cost   float64
+}
+
+// dpJoinOrder runs subset DP and returns the best-ordered join tree with a
+// projection restoring the original column order.
+func (p *Planner) dpJoinOrder(cl *joinCluster) (logical.Node, error) {
+	n := len(cl.leaves)
+	full := uint(1)<<n - 1
+	best := make(map[uint]*dpEntry, 1<<n)
+
+	condMasks := make([]uint, len(cl.conds))
+	for i, c := range cl.conds {
+		condMasks[i] = cl.condMask(c)
+	}
+
+	// Base cases.
+	for i, leaf := range cl.leaves {
+		colPos := make([]int, cl.width)
+		for g := range colPos {
+			colPos[g] = -1
+		}
+		w := len(leaf.Schema())
+		for k := 0; k < w; k++ {
+			colPos[cl.offsets[i]+k] = k
+		}
+		node := leaf
+		// Single-leaf conditions (already pushed by rules normally, but a
+		// leaf-local cond can appear after OR-extraction).
+		node, colPos = cl.applyConds(node, colPos, uint(1)<<i, condMasks)
+		best[uint(1)<<i] = &dpEntry{node: node, colPos: colPos, cost: p.cfg.Est.RowCount(node)}
+	}
+
+	for s := uint(1); s <= full; s++ {
+		if bits.OnesCount(uint(s)) < 2 {
+			continue
+		}
+		var entry *dpEntry
+		trySplit := func(a, b uint) error {
+			ea, eb := best[a], best[b]
+			if ea == nil || eb == nil {
+				return nil
+			}
+			if err := p.charge(1); err != nil {
+				return err
+			}
+			node, colPos := cl.buildJoin(p, ea, eb, s, condMasks)
+			out := p.cfg.Est.RowCount(node)
+			c := ea.cost + eb.cost + out
+			if entry == nil || c < entry.cost {
+				entry = &dpEntry{node: node, colPos: colPos, cost: c}
+			}
+			return nil
+		}
+		// Connected splits first: a split qualifies when some condition
+		// spans both halves.
+		foundConnected := false
+		for a := (s - 1) & s; a > 0; a = (a - 1) & s {
+			b := s ^ a
+			if b == 0 {
+				continue
+			}
+			if !splitConnected(a, b, s, condMasks) {
+				continue
+			}
+			foundConnected = true
+			if err := trySplit(a, b); err != nil {
+				return nil, err
+			}
+		}
+		if !foundConnected {
+			// Cartesian fallback.
+			for a := (s - 1) & s; a > 0; a = (a - 1) & s {
+				b := s ^ a
+				if b == 0 {
+					continue
+				}
+				if err := trySplit(a, b); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if entry != nil {
+			best[s] = entry
+		}
+	}
+
+	final := best[full]
+	// Restore the original global column order for the cluster's parent.
+	exprs := make([]expr.Expr, cl.width)
+	names := make([]string, cl.width)
+	schema := final.node.Schema()
+	for g := 0; g < cl.width; g++ {
+		pos := final.colPos[g]
+		exprs[g] = expr.NewColRef(pos, schema[pos].Kind, schema[pos].Name)
+		names[g] = schema[pos].Name
+	}
+	return logical.NewProject(final.node, exprs, names), nil
+}
+
+// splitConnected reports whether some condition covered by s spans both a
+// and b.
+func splitConnected(a, b, s uint, condMasks []uint) bool {
+	for _, m := range condMasks {
+		if m&^s != 0 {
+			continue
+		}
+		if m&a != 0 && m&b != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// buildJoin joins two DP entries, attaching every condition that becomes
+// fully covered.
+func (cl *joinCluster) buildJoin(p *Planner, ea, eb *dpEntry, s uint, condMasks []uint) (logical.Node, []int) {
+	leftW := len(ea.node.Schema())
+	colPos := make([]int, cl.width)
+	for g := range colPos {
+		switch {
+		case ea.colPos[g] >= 0:
+			colPos[g] = ea.colPos[g]
+		case eb.colPos[g] >= 0:
+			colPos[g] = eb.colPos[g] + leftW
+		default:
+			colPos[g] = -1
+		}
+	}
+	aMask := entryMask(cl, ea)
+	bMask := entryMask(cl, eb)
+	var conds []expr.Expr
+	for i, c := range cl.conds {
+		m := condMasks[i]
+		if m&^s != 0 {
+			continue
+		}
+		// Attach exactly when the condition spans both inputs (conditions
+		// inside one side were attached when that side was built).
+		if m&aMask != 0 && m&bMask != 0 {
+			conds = append(conds, expr.Remap(c, colPos))
+		}
+	}
+	j := logical.NewJoin(ea.node, eb.node, logical.JoinInner, expr.Conjunction(conds))
+	return j, colPos
+}
+
+// applyConds attaches single-leaf conditions as filters on a base entry.
+func (cl *joinCluster) applyConds(node logical.Node, colPos []int,
+	mask uint, condMasks []uint) (logical.Node, []int) {
+	var local []expr.Expr
+	for i, c := range cl.conds {
+		if condMasks[i] == mask {
+			local = append(local, expr.Remap(c, colPos))
+		}
+	}
+	if len(local) > 0 {
+		node = logical.NewFilter(node, expr.Conjunction(local))
+	}
+	return node, colPos
+}
+
+// entryMask recovers which leaves an entry covers from its column map.
+func entryMask(cl *joinCluster, e *dpEntry) uint {
+	var mask uint
+	for i := range cl.leaves {
+		if e.colPos[cl.offsets[i]] >= 0 {
+			mask |= 1 << i
+		}
+	}
+	return mask
+}
