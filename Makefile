@@ -1,0 +1,26 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs `make ci`,
+# which gates every PR on go vet and the race detector.
+
+GO ?= go
+
+.PHONY: build test race vet bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The paper-artifact benchmarks (figures/tables) plus the operator and
+# scheduler microbenchmarks. GIGNITE_PARBENCH_SF overrides the
+# BenchmarkParallelExecute scale factor.
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$'
+
+ci: vet race

@@ -11,13 +11,20 @@ package gignite_test
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 
 	"gignite"
+	"gignite/internal/exec"
+	"gignite/internal/expr"
 	"gignite/internal/harness"
+	"gignite/internal/logical"
+	"gignite/internal/physical"
 	"gignite/internal/ssb"
 	"gignite/internal/tpch"
+	"gignite/internal/types"
 )
 
 // benchSF keeps bench runs laptop-sized; cmd/benchrunner accepts larger
@@ -172,6 +179,128 @@ func BenchmarkAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := harness.Ablation(grindOpts()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelExecute compares the wave scheduler's wall-clock time
+// at ExecParallelism=1 (sequential) and 0 (GOMAXPROCS workers) on a
+// multi-fragment TPC-H join query. The modeled time is identical in both
+// modes by construction; the ns/op ratio between the two sub-benchmarks
+// is the host speedup (≥1.5× expected on a multi-core host — on a
+// single-core runner the two coincide). Override the scale factor with
+// GIGNITE_PARBENCH_SF.
+func BenchmarkParallelExecute(b *testing.B) {
+	sf := 0.1
+	if s := os.Getenv("GIGNITE_PARBENCH_SF"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			sf = v
+		}
+	}
+	e := gignite.Open(harness.ConfigFor(harness.ICPlus, 4, sf))
+	if err := tpch.Setup(e, sf); err != nil {
+		b.Fatal(err)
+	}
+	q := tpch.QueryByID(3).SQL
+	e.SetExecParallelism(1)
+	base, err := e.Query(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		par  int
+	}{{"seq", 1}, {"par", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e.SetExecParallelism(mode.par)
+			var res *gignite.Result
+			for i := 0; i < b.N; i++ {
+				res, err = e.Query(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Whatever the worker count, results are byte-identical.
+			if len(res.Rows) != len(base.Rows) {
+				b.Fatalf("rows = %d, want %d", len(res.Rows), len(base.Rows))
+			}
+			for i := range res.Rows {
+				if res.Rows[i].String() != base.Rows[i].String() {
+					b.Fatalf("row %d diverged from sequential run", i)
+				}
+			}
+			b.ReportMetric(float64(res.Stats.Workers), "workers")
+			b.ReportMetric(float64(res.Modeled.Microseconds())/1000, "modeled_ms")
+		})
+	}
+}
+
+// aggBenchInput builds a 2-column (group, value) row set.
+func aggBenchInput(n, groups int) []types.Row {
+	rows := make([]types.Row, n)
+	for i := range rows {
+		rows[i] = types.Row{
+			types.NewInt(int64(i % groups)),
+			types.NewFloat(float64(i) * 0.5),
+		}
+	}
+	return rows
+}
+
+// BenchmarkHashAggregate measures the hash-aggregate operator (group map
+// preallocation shows up here).
+func BenchmarkHashAggregate(b *testing.B) {
+	fields := types.Fields{
+		{Name: "g", Kind: types.KindInt},
+		{Name: "v", Kind: types.KindFloat},
+	}
+	in := physical.NewValues(fields, aggBenchInput(20000, 256))
+	agg := physical.NewHashAggregate(in, []int{0},
+		[]expr.AggCall{
+			{Func: expr.AggCount, Name: "n"},
+			{Func: expr.AggSum, Arg: expr.NewColRef(1, types.KindFloat, ""), Name: "s"},
+		}, physical.AggSinglePhase,
+		types.Fields{{Name: "g", Kind: types.KindInt}, {Name: "n", Kind: types.KindInt},
+			{Name: "s", Kind: types.KindFloat}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := exec.Run(agg, &exec.Context{NVariants: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 256 {
+			b.Fatalf("groups = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkHashJoin measures the hash-join operator (build-table and
+// output preallocation show up here).
+func BenchmarkHashJoin(b *testing.B) {
+	lFields := types.Fields{{Name: "k", Kind: types.KindInt}, {Name: "a", Kind: types.KindInt}}
+	rFields := types.Fields{{Name: "k2", Kind: types.KindInt}, {Name: "b", Kind: types.KindFloat}}
+	var lRows, rRows []types.Row
+	for i := 0; i < 20000; i++ {
+		lRows = append(lRows, types.Row{types.NewInt(int64(i % 4096)), types.NewInt(int64(i))})
+	}
+	for i := 0; i < 4096; i++ {
+		rRows = append(rRows, types.Row{types.NewInt(int64(i)), types.NewFloat(float64(i))})
+	}
+	join := physical.NewJoin(
+		physical.NewValues(lFields, lRows),
+		physical.NewValues(rFields, rRows),
+		physical.HashAlgo, logical.JoinInner,
+		expr.NewBinOp(expr.OpEq,
+			expr.NewColRef(0, types.KindInt, ""), expr.NewColRef(2, types.KindInt, "")),
+		[]expr.EquiKey{{Left: 0, Right: 0}}, physical.SingleDist, "single")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := exec.Run(join, &exec.Context{NVariants: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 20000 {
+			b.Fatalf("join rows = %d", len(rows))
 		}
 	}
 }

@@ -4,10 +4,12 @@
 // Usage:
 //
 //	benchrunner -exp fig7|fig8|fig9|fig10|fig11|table3|failures|ablate|all
-//	            [-sf 0.005,0.01] [-sites 4,8]
+//	            [-sf 0.005,0.01] [-sites 4,8] [-par 0]
 //
 // Response times are deterministic modeled times from the simnet cost
-// clock (see DESIGN.md), so runs are reproducible across hosts.
+// clock (see DESIGN.md), so runs are reproducible across hosts — and
+// independent of -par, which only sets how many host goroutines execute
+// fragment instances (wall-clock speed of the run itself).
 package main
 
 import (
@@ -24,9 +26,11 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table3, failures, ablate, scaling, all")
 	sfs := flag.String("sf", "0.005,0.01", "comma-separated scale factors")
 	sites := flag.String("sites", "4,8", "comma-separated site counts")
+	par := flag.Int("par", 0, "host execution parallelism: 0 = GOMAXPROCS, 1 = sequential")
 	flag.Parse()
 
 	opts := harness.Options{Env: harness.NewEnv()}
+	opts.Env.Parallelism = *par
 	for _, s := range strings.Split(*sfs, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 		if err != nil {

@@ -37,7 +37,9 @@ func main() {
 		os.Exit(2)
 	}
 	for _, sys := range []harness.System{harness.IC, harness.ICPlus} {
-		e := gignite.Open(harness.ConfigFor(sys, 4, sf))
+		cfg := harness.ConfigFor(sys, 4, sf)
+		cfg.ExecParallelism = 1 // sequential: plan diffs stay byte-stable
+		e := gignite.Open(cfg)
 		if err := tpch.Setup(e, sf); err != nil {
 			panic(err)
 		}

@@ -100,6 +100,13 @@ type Config struct {
 
 	// --- limits and modeling ---
 
+	// ExecParallelism bounds how many fragment instances execute
+	// concurrently on host goroutines. 0 uses runtime.GOMAXPROCS(0); 1
+	// forces the deterministic sequential path (plan-diff tooling).
+	// Results and modeled times are identical at every setting — host
+	// parallelism changes wall-clock time only, while the paper's
+	// per-fragment threads stay accounted for by the simnet cost clock.
+	ExecParallelism int
 	// PlanningBudget overrides the planner search budget (0 = default).
 	PlanningBudget int
 	// ExecWorkLimit aborts queries whose execution work exceeds it
@@ -168,17 +175,28 @@ func Open(cfg Config) *Engine {
 	}
 	cat := catalog.New()
 	store := storage.NewStore(cat, cfg.Sites)
+	cl := cluster.New(store, cfg.Sim)
+	cl.Workers = cfg.ExecParallelism
 	return &Engine{
 		cfg:     cfg,
 		catalog: cat,
 		store:   store,
-		cluster: cluster.New(store, cfg.Sim),
+		cluster: cl,
 		views:   make(map[string]*sql.SelectStmt),
 	}
 }
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// SetExecParallelism adjusts the host worker-pool bound at runtime (see
+// Config.ExecParallelism). It must not be called concurrently with
+// in-flight queries; it exists so tools and benchmarks can compare
+// sequential and parallel execution on one loaded engine.
+func (e *Engine) SetExecParallelism(n int) {
+	e.cfg.ExecParallelism = n
+	e.cluster.Workers = n
+}
 
 // Result is the outcome of one statement.
 type Result struct {
@@ -204,12 +222,16 @@ type ExecStats struct {
 	// Fragments / Instances count execution units.
 	Fragments int
 	Instances int
+	// Workers is the host worker-pool size the query executed with.
+	Workers int
 	// PlanTickets is the planner search effort.
 	PlanTickets int
 }
 
 // Exec parses and executes one SQL statement (DDL, INSERT, SELECT or
-// EXPLAIN).
+// EXPLAIN). Exec is safe for concurrent callers: SELECTs run fully in
+// parallel (the paper's multi-client AQL setting), while DDL and INSERT
+// serialize against the storage and catalog write locks.
 func (e *Engine) Exec(query string) (*Result, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
@@ -401,6 +423,7 @@ func (e *Engine) query(sel *sql.SelectStmt) (*Result, error) {
 			BytesShipped: res.BytesShipped,
 			Fragments:    res.Fragments,
 			Instances:    res.Instances,
+			Workers:      res.Workers,
 			PlanTickets:  vp.TicketsUsed,
 		},
 	}, nil

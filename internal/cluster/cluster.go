@@ -4,14 +4,21 @@
 // wires the exchanges through the transport, and feeds the execution
 // trace to the simnet cost clock.
 //
-// Fragments execute in dependency order (producers before consumers) with
-// fully materialized exchanges. The concurrency the paper gets from
-// per-fragment threads is accounted for by the cost clock rather than by
-// host threads — see DESIGN.md §2 and package simnet.
+// Fragments execute wave by wave: Plan.Waves groups them so that every
+// producer finishes before its consumers start, and all instances within
+// one wave run concurrently on a bounded pool of host goroutines
+// (Workers; 1 falls back to the deterministic sequential path). Host
+// parallelism changes only wall-clock time — the modeled response time
+// still comes from the simnet cost clock, which accounts for the paper's
+// per-fragment threads analytically (see DESIGN.md §2 and package
+// simnet).
 package cluster
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"gignite/internal/exec"
@@ -27,6 +34,11 @@ type Cluster struct {
 	Store *storage.Store
 	// Sim is the modeled hardware profile for the cost clock.
 	Sim simnet.Params
+	// Workers bounds how many fragment instances execute concurrently on
+	// the host. 0 means runtime.GOMAXPROCS(0); 1 keeps the sequential
+	// path (used by plan-diff tooling and determinism tests). Results
+	// and modeled times are identical at every setting.
+	Workers int
 }
 
 // New creates a cluster over a store.
@@ -47,6 +59,8 @@ type Result struct {
 	// Fragments and Instances count the execution plan's parallel units.
 	Fragments int
 	Instances int
+	// Workers is the host worker-pool size the execution ran with.
+	Workers int
 }
 
 // ErrWorkLimit re-exports the executor's work-limit error for callers.
@@ -58,12 +72,35 @@ func (c *Cluster) Execute(plan *fragment.Plan, variants int) (*Result, error) {
 	return c.ExecuteLimited(plan, variants, 0)
 }
 
+// instanceJob is one schedulable (fragment × site × variant) instance.
+type instanceJob struct {
+	frag      *fragment.Fragment
+	site      int
+	variant   int
+	nVariants int
+	modes     map[physical.Node]fragment.SourceMode
+}
+
+// instanceResult is the per-instance outcome a worker hands back to the
+// wave barrier. Workers never touch shared trace state: each writes only
+// its own slot, and the barrier merges slots in deterministic job order.
+type instanceResult struct {
+	rows    []types.Row
+	work    float64
+	err     error
+	skipped bool
+}
+
 // ExecuteLimited is Execute with a per-instance work limit (0 =
 // unlimited), reproducing the paper's query runtime limit.
 func (c *Cluster) ExecuteLimited(plan *fragment.Plan, variants int, workLimit float64) (*Result, error) {
-	order, err := plan.Ordered()
+	waves, err := plan.Waves()
 	if err != nil {
 		return nil, err
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	transport := exec.NewTransport()
 	trace := &simnet.Trace{
@@ -84,41 +121,45 @@ func (c *Cluster) ExecuteLimited(plan *fragment.Plan, variants int, workLimit fl
 		resultFields types.Fields
 		instances    int
 	)
-	for _, f := range order {
-		trace.Order = append(trace.Order, f.ID)
-		sites := c.fragmentSites(f)
-		vs := fragment.BuildVariants(f, variants)
-		n := 1
-		var modes map[physical.Node]fragment.SourceMode
-		if vs != nil {
-			n = vs.N
-			modes = vs.Modes
+	for _, wave := range waves {
+		var jobs []instanceJob
+		for _, f := range wave {
+			trace.Order = append(trace.Order, f.ID)
+			sites := c.fragmentSites(f)
+			vs := fragment.BuildVariants(f, variants)
+			n := 1
+			var modes map[physical.Node]fragment.SourceMode
+			if vs != nil {
+				n = vs.N
+				modes = vs.Modes
+			}
+			for _, site := range sites {
+				for v := 0; v < n; v++ {
+					jobs = append(jobs, instanceJob{frag: f, site: site, variant: v, nVariants: n, modes: modes})
+				}
+			}
 		}
-		for _, site := range sites {
-			for v := 0; v < n; v++ {
-				ctx := &exec.Context{
-					Store:     c.Store,
-					Transport: transport,
-					FragID:    f.ID,
-					Site:      site,
-					Variant:   v,
-					NVariants: n,
-					Modes:     modes,
-					WorkLimit: workLimit,
-					RowLimit:  int64(workLimit / 100),
-				}
-				rows, err := exec.Run(f.Root, ctx)
-				if err != nil {
-					return nil, fmt.Errorf("cluster: fragment %d at site %d: %w", f.ID, site, err)
-				}
-				instances++
-				trace.Instances[f.ID] = append(trace.Instances[f.ID], simnet.Instance{
-					Frag: f.ID, Site: site, Variant: v, Work: ctx.CPUWork,
-				})
-				if f.IsRoot {
-					resultRows = rows
-					resultFields = f.Root.Schema()
-				}
+		results := make([]instanceResult, len(jobs))
+		c.runWave(jobs, results, transport, workers, workLimit)
+
+		// Merge at the wave barrier, in deterministic job order, so the
+		// trace and the reported error are identical at every worker
+		// count.
+		for i := range jobs {
+			j, r := jobs[i], results[i]
+			if r.skipped {
+				continue
+			}
+			if r.err != nil {
+				return nil, fmt.Errorf("cluster: fragment %d at site %d: %w", j.frag.ID, j.site, r.err)
+			}
+			instances++
+			trace.Instances[j.frag.ID] = append(trace.Instances[j.frag.ID], simnet.Instance{
+				Frag: j.frag.ID, Site: j.site, Variant: j.variant, Work: r.work,
+			})
+			if j.frag.IsRoot {
+				resultRows = r.rows
+				resultFields = j.frag.Root.Schema()
 			}
 		}
 	}
@@ -138,7 +179,68 @@ func (c *Cluster) ExecuteLimited(plan *fragment.Plan, variants int, workLimit fl
 		BytesShipped: trace.TotalBytes(),
 		Fragments:    len(plan.Fragments),
 		Instances:    instances,
+		Workers:      workers,
 	}, nil
+}
+
+// runWave executes one wave's instances on at most `workers` goroutines.
+// Each instance gets a private exec.Context, so work counters accumulate
+// without sharing; once any instance fails, undispatched instances are
+// skipped (the sequential early-exit behaviour, made race-safe).
+func (c *Cluster) runWave(jobs []instanceJob, results []instanceResult,
+	transport *exec.Transport, workers int, workLimit float64) {
+
+	var failed atomic.Bool
+	run := func(i int) {
+		if failed.Load() {
+			results[i].skipped = true
+			return
+		}
+		j := jobs[i]
+		ctx := &exec.Context{
+			Store:     c.Store,
+			Transport: transport,
+			FragID:    j.frag.ID,
+			Site:      j.site,
+			Variant:   j.variant,
+			NVariants: j.nVariants,
+			Modes:     j.modes,
+			WorkLimit: workLimit,
+			RowLimit:  int64(workLimit / 100),
+		}
+		rows, err := exec.Run(j.frag.Root, ctx)
+		if err != nil {
+			failed.Store(true)
+		}
+		results[i] = instanceResult{rows: rows, work: ctx.CPUWork, err: err}
+	}
+
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			run(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(jobs) {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // fragmentSites determines where a fragment executes, from the

@@ -109,6 +109,58 @@ func TestVariantsSameResultsMoreInstances(t *testing.T) {
 	}
 }
 
+// TestParallelMatchesSequential: the wave scheduler must produce
+// byte-identical rows, modeled time, work, and instance counts at every
+// worker count — host parallelism changes wall-clock only.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, variants := range []int{1, 2} {
+		c := testCluster(t, 4)
+		c.Workers = 1
+		seq, err := c.Execute(buildPlan(t, c), variants)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 16} {
+			c.Workers = workers
+			par, err := c.Execute(buildPlan(t, c), variants)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par.Rows) != len(seq.Rows) {
+				t.Fatalf("variants=%d workers=%d: rows %d vs %d",
+					variants, workers, len(par.Rows), len(seq.Rows))
+			}
+			for i := range seq.Rows {
+				if par.Rows[i].String() != seq.Rows[i].String() {
+					t.Fatalf("variants=%d workers=%d: row %d differs: %s vs %s",
+						variants, workers, i, par.Rows[i], seq.Rows[i])
+				}
+			}
+			if par.Modeled != seq.Modeled {
+				t.Errorf("variants=%d workers=%d: modeled %v vs %v",
+					variants, workers, par.Modeled, seq.Modeled)
+			}
+			if par.Work != seq.Work || par.Instances != seq.Instances {
+				t.Errorf("variants=%d workers=%d: work/instances diverge: %v/%d vs %v/%d",
+					variants, workers, par.Work, par.Instances, seq.Work, seq.Instances)
+			}
+			if par.Workers != workers {
+				t.Errorf("reported workers = %d, want %d", par.Workers, workers)
+			}
+		}
+	}
+}
+
+// TestParallelWorkLimit: the limit still aborts when instances run on
+// multiple goroutines.
+func TestParallelWorkLimit(t *testing.T) {
+	c := testCluster(t, 4)
+	c.Workers = 4
+	if _, err := c.ExecuteLimited(buildPlan(t, c), 1, 1); err == nil {
+		t.Error("tiny work limit not enforced under parallel execution")
+	}
+}
+
 func TestWorkLimitPropagates(t *testing.T) {
 	c := testCluster(t, 2)
 	_, err := c.ExecuteLimited(buildPlan(t, c), 1, 1)

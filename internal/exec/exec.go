@@ -10,6 +10,7 @@ package exec
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -32,7 +33,7 @@ type Batch struct {
 }
 
 // Transport buffers exchanged batches: batches[exchangeID][targetSite].
-// It is safe for concurrent senders.
+// It is safe for concurrent senders and receivers.
 type Transport struct {
 	mu      sync.Mutex
 	batches map[int]map[int][]*Batch
@@ -74,10 +75,23 @@ func (t *Transport) Send(exchange, toSite int, b *Batch) {
 }
 
 // Receive returns the batches shipped to a site under an exchange ID.
+// The returned slice is a copy in a deterministic order — by sender
+// site, then sender variant — so concurrent receivers may reorder or
+// truncate it freely, and concurrent senders' arrival order never
+// perturbs consumer-side row order.
 func (t *Transport) Receive(exchange, site int) []*Batch {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.batches[exchange][site]
+	src := t.batches[exchange][site]
+	out := make([]*Batch, len(src))
+	copy(out, src)
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].FromSite != out[b].FromSite {
+			return out[a].FromSite < out[b].FromSite
+		}
+		return out[a].FromVariant < out[b].FromVariant
+	})
+	return out
 }
 
 // Context is the execution environment of one fragment instance.
@@ -239,7 +253,7 @@ func runNode(n physical.Node, ctx *Context) ([]types.Row, error) {
 		n := float64(len(in))
 		if n > 1 {
 			ctx.work(n * cost.RPTC)
-			ctx.work(n * log2(n) * cost.RCC)
+			ctx.work(n * math.Log2(n) * cost.RCC)
 		}
 		out := make([]types.Row, len(in))
 		copy(out, in)
@@ -372,16 +386,4 @@ func runReceiver(r *physical.Receiver, ctx *Context) ([]types.Row, error) {
 		})
 	}
 	return ctx.sourceRows(r, out), nil
-}
-
-func log2(x float64) float64 {
-	if x < 2 {
-		return 1
-	}
-	l := 0.0
-	for x > 1 {
-		x /= 2
-		l++
-	}
-	return l
 }

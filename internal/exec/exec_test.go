@@ -362,6 +362,54 @@ func TestDuplicatorReplaysAll(t *testing.T) {
 	}
 }
 
+// TestReceiveReturnsCopy: the batch slice handed to one receiver must be
+// private — truncating or overwriting it cannot corrupt what a second
+// receiver of the same exchange sees (variant fragments receive the same
+// (exchange, site) stream once per variant).
+func TestReceiveReturnsCopy(t *testing.T) {
+	tr := NewTransport()
+	tr.Send(1, 0, &Batch{Rows: []types.Row{{types.NewInt(1)}}, FromSite: 0})
+	tr.Send(1, 0, &Batch{Rows: []types.Row{{types.NewInt(2)}}, FromSite: 1})
+
+	first := tr.Receive(1, 0)
+	if len(first) != 2 {
+		t.Fatalf("batches = %d", len(first))
+	}
+	// Mutate the returned slice in every way a consumer might.
+	first[0], first[1] = first[1], first[0]
+	first = append(first[:1], &Batch{})
+	_ = first
+
+	second := tr.Receive(1, 0)
+	if len(second) != 2 {
+		t.Fatalf("second receiver sees %d batches", len(second))
+	}
+	if second[0].Rows[0][0].Int() != 1 || second[1].Rows[0][0].Int() != 2 {
+		t.Errorf("second receiver corrupted: %v, %v", second[0].Rows, second[1].Rows)
+	}
+}
+
+// TestReceiveDeterministicOrder: batches come back ordered by (sender
+// site, sender variant) regardless of arrival order, so concurrent
+// senders cannot perturb consumer-side row order.
+func TestReceiveDeterministicOrder(t *testing.T) {
+	tr := NewTransport()
+	// Arrive out of order, as parallel senders would.
+	tr.Send(5, 0, &Batch{FromSite: 2, FromVariant: 0})
+	tr.Send(5, 0, &Batch{FromSite: 0, FromVariant: 1})
+	tr.Send(5, 0, &Batch{FromSite: 1, FromVariant: 0})
+	tr.Send(5, 0, &Batch{FromSite: 0, FromVariant: 0})
+
+	got := tr.Receive(5, 0)
+	want := [][2]int{{0, 0}, {0, 1}, {1, 0}, {2, 0}}
+	for i, b := range got {
+		if b.FromSite != want[i][0] || b.FromVariant != want[i][1] {
+			t.Fatalf("batch %d from (site %d, variant %d), want (%d, %d)",
+				i, b.FromSite, b.FromVariant, want[i][0], want[i][1])
+		}
+	}
+}
+
 func TestMergingReceiverOrders(t *testing.T) {
 	st := testStore(t, 1)
 	tr := NewTransport()

@@ -28,8 +28,10 @@ func runHashAggregate(groupBy []int, aggs []expr.AggCall, in []types.Row, ctx *C
 		}
 		return g
 	}
-	groups := make(map[uint64][]*group)
-	var order []*group
+	// Size the table for the common grouping ratio so the map does not
+	// rehash its way up from empty on every aggregation.
+	groups := make(map[uint64][]*group, len(in)/4+1)
+	order := make([]*group, 0, len(in)/4+1)
 	for _, r := range in {
 		h := r.Hash(groupBy)
 		var g *group
@@ -246,7 +248,8 @@ func runHashJoin(j *physical.Join, left, right []types.Row, ctx *Context) ([]typ
 	} else {
 		rightW = len(j.Inputs()[1].Schema())
 	}
-	var out []types.Row
+	// Equi-joins on key-ish columns emit about one row per probe row.
+	out := make([]types.Row, 0, len(left))
 	guard := &emitGuard{ctx: ctx}
 	for _, l := range left {
 		matched := false

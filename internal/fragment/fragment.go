@@ -104,6 +104,38 @@ func (p *Plan) Ordered() ([]*Fragment, error) {
 	return out, nil
 }
 
+// Waves groups fragments into dependency waves for the parallel
+// scheduler: wave 0 holds fragments with no receivers, and wave k holds
+// fragments all of whose producers finished by wave k-1. Fragments
+// within one wave are mutually independent, so a scheduler may run all
+// their instances concurrently and place a barrier between consecutive
+// waves. Flattening the waves in order yields a valid dependency order
+// (every producer precedes its consumers), and within a wave fragments
+// keep the Ordered() sequence, so wave-by-wave execution with one worker
+// is deterministic.
+func (p *Plan) Waves() ([][]*Fragment, error) {
+	order, err := p.Ordered()
+	if err != nil {
+		return nil, err
+	}
+	depth := make(map[int]int, len(order))
+	var waves [][]*Fragment
+	for _, f := range order {
+		d := 0
+		for _, ex := range f.Receivers {
+			if pd := depth[p.Producer[ex].ID]; pd+1 > d {
+				d = pd + 1
+			}
+		}
+		depth[f.ID] = d
+		for len(waves) <= d {
+			waves = append(waves, nil)
+		}
+		waves[d] = append(waves[d], f)
+	}
+	return waves, nil
+}
+
 // SourceMode is how a source operator behaves inside a variant fragment
 // (§5.3.1).
 type SourceMode uint8

@@ -100,6 +100,46 @@ func TestOrderedDependencies(t *testing.T) {
 	}
 }
 
+func TestWavesRespectDependencies(t *testing.T) {
+	plan := Split(buildJoinPlan())
+	waves, err := plan.Waves()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every fragment appears in exactly one wave.
+	waveOf := make(map[int]int)
+	total := 0
+	for w, frags := range waves {
+		for _, f := range frags {
+			if prev, dup := waveOf[f.ID]; dup {
+				t.Fatalf("fragment %d in waves %d and %d", f.ID, prev, w)
+			}
+			waveOf[f.ID] = w
+			total++
+		}
+	}
+	if total != len(plan.Fragments) {
+		t.Fatalf("waves hold %d fragments, plan has %d", total, len(plan.Fragments))
+	}
+	// Every producer is in a strictly earlier wave than its consumer.
+	for _, f := range plan.Fragments {
+		for _, ex := range f.Receivers {
+			if waveOf[plan.Producer[ex].ID] >= waveOf[f.ID] {
+				t.Errorf("fragment %d not after its producer %d",
+					f.ID, plan.Producer[ex].ID)
+			}
+		}
+	}
+	// Known shape: scan-b fragment (wave 0) → join fragment (wave 1) →
+	// root (wave 2).
+	if len(waves) != 3 {
+		t.Fatalf("waves = %d, want 3", len(waves))
+	}
+	if waveOf[0] != len(waves)-1 {
+		t.Errorf("root fragment in wave %d, want last wave %d", waveOf[0], len(waves)-1)
+	}
+}
+
 func TestBuildVariantsRootAndReductionSkipped(t *testing.T) {
 	plan := Split(buildJoinPlan())
 	root := plan.Fragments[0]

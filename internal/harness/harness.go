@@ -10,6 +10,7 @@ package harness
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"gignite"
@@ -71,8 +72,14 @@ func (w Workload) String() string {
 }
 
 // Env caches loaded engines so experiments over many (system, sites, SF)
-// combinations pay data generation and loading once each.
+// combinations pay data generation and loading once each. An Env is safe
+// for concurrent use (the multi-client AQL drivers share one).
 type Env struct {
+	// Parallelism is passed through to Config.ExecParallelism for every
+	// engine the Env opens (0 = GOMAXPROCS, 1 = sequential).
+	Parallelism int
+
+	mu      sync.Mutex
 	engines map[string]*gignite.Engine
 }
 
@@ -82,10 +89,14 @@ func NewEnv() *Env { return &Env{engines: make(map[string]*gignite.Engine)} }
 // Engine returns (loading on first use) the engine for a combination.
 func (env *Env) Engine(w Workload, sys System, sites int, sf float64) (*gignite.Engine, error) {
 	key := fmt.Sprintf("%s/%s/%d/%g", w, sys, sites, sf)
+	env.mu.Lock()
+	defer env.mu.Unlock()
 	if e, ok := env.engines[key]; ok {
 		return e, nil
 	}
-	e := gignite.Open(ConfigFor(sys, sites, sf))
+	cfg := ConfigFor(sys, sites, sf)
+	cfg.ExecParallelism = env.Parallelism
+	e := gignite.Open(cfg)
 	var err error
 	if w == SSB {
 		err = ssb.Setup(e, sf)

@@ -3,15 +3,22 @@
 // for a cluster the paper's testbed shape (N sites × C cores, 10 GbE).
 //
 // This is the substitution for the paper's physical machines (see
-// DESIGN.md §2): the host running this reproduction has a single core, so
-// wall-clock time cannot exhibit multi-site or multi-thread speedups. The
-// clock computes the makespan of the fragment DAG instead: fragment
+// DESIGN.md §2): the host running this reproduction is not the paper's
+// testbed, so wall-clock time cannot reproduce its multi-site speedups.
+// The clock computes the makespan of the fragment DAG instead: fragment
 // instances run in parallel across sites (and across variant threads,
 // §5.3), network edges add latency plus byte transfer time, and a site's
 // threads contend for its cores. Because the inputs are counters from a
 // real execution of the real plan, plan-quality differences translate
 // into modeled-time differences through exactly the mechanisms the paper
 // describes.
+//
+// Host-side parallelism is a separate axis: package cluster's wave
+// scheduler runs fragment instances on real goroutines
+// (Config.ExecParallelism), which changes how fast the reproduction
+// itself executes but never the modeled times computed here — a Trace is
+// merged at wave barriers in deterministic order, so Makespan sees the
+// same record at any worker count.
 package simnet
 
 import (

@@ -29,6 +29,9 @@ func PartitionOf(v types.Value, n int) int {
 
 // Store is the cluster-wide storage: every site's partitions live here,
 // indexed by site ordinal. One Store instance backs one simulated cluster.
+// A Store is safe for concurrent use: reads (Partition, IndexScan,
+// RowCount) share an RWMutex read lock, so concurrent SELECT clients
+// proceed in parallel while loads and index builds take the write lock.
 type Store struct {
 	mu     sync.RWMutex
 	sites  int
@@ -277,8 +280,10 @@ func (s *Store) ComputeStats(name string) error {
 	if err != nil {
 		return err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	// Full lock, not RLock: the scan is a read, but the final assignment
+	// publishes td.Def.Stats, which concurrent planners read.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	cols := td.Def.Columns
 	distinct := make([]map[uint64][]types.Value, len(cols))
 	for i := range distinct {
