@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench ci
+.PHONY: build test race vet bench chaos ci
 
 build:
 	$(GO) build ./...
@@ -22,5 +22,11 @@ race:
 # BenchmarkParallelExecute scale factor.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'
+
+# The fault-tolerance suite (chaos_test.go): seeded fault plans, replica
+# failover, cancellation and goroutine-leak checks, twice under -race to
+# shake out scheduling-dependent behaviour.
+chaos:
+	$(GO) test -race -count=2 -run 'TestChaos' .
 
 ci: vet race

@@ -1,0 +1,238 @@
+package gignite_test
+
+// Chaos suite: TPC-H under deterministic fault injection. Every scenario
+// asserts the recovered run returns byte-identical rows to the fault-free
+// run (the fault-tolerance layer must be invisible in results), that
+// recovery cost is surfaced in the execution stats, and that no
+// goroutines leak. Run under -race in CI (the `chaos` job).
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"gignite"
+	"gignite/internal/harness"
+	"gignite/internal/tpch"
+)
+
+const chaosSF = 0.005
+
+// chaosQueries are the acceptance queries: a two-phase aggregation (Q1)
+// and a join + sort pipeline (Q3), both multi-fragment at 4 sites.
+var chaosQueries = []int{1, 3}
+
+func openChaosEngine(t *testing.T, backups int, spec string) *gignite.Engine {
+	t.Helper()
+	plan, err := gignite.ParseFaults(spec)
+	if err != nil {
+		t.Fatalf("fault spec %q: %v", spec, err)
+	}
+	cfg := harness.ConfigFor(harness.ICPlus, 4, chaosSF)
+	cfg.Backups = backups
+	cfg.Faults = plan
+	e := gignite.Open(cfg)
+	if err := tpch.Setup(e, chaosSF); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// checkGoroutineLeaks fails the test if goroutines outlive it (workers,
+// backoff timers). Registered before the work so the cleanup runs after.
+func checkGoroutineLeaks(t *testing.T) {
+	t.Helper()
+	start := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > start {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Errorf("goroutine leak: %d at start, %d after\n%s",
+					start, runtime.NumGoroutine(), buf[:n])
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+// TestChaosFaultPlans: seeded fault plans against TPC-H Q1 and Q3. Each
+// scenario's rows must be byte-identical to the fault-free run at every
+// worker count, and recovery scenarios must surface retries in the stats.
+func TestChaosFaultPlans(t *testing.T) {
+	checkGoroutineLeaks(t)
+	baseline := openChaosEngine(t, 1, "")
+	want := make(map[int][]string)
+	wantWork := make(map[int]float64)
+	for _, id := range chaosQueries {
+		res, err := baseline.Query(tpch.QueryByID(id).SQL)
+		if err != nil {
+			t.Fatalf("fault-free Q%d: %v", id, err)
+		}
+		want[id] = rowStrings(res)
+		wantWork[id] = res.Stats.Work
+	}
+
+	scenarios := []struct {
+		name    string
+		spec    string
+		backups int
+		// wantRetries: the plan must force at least one recovery event
+		// across the two queries.
+		wantRetries bool
+		// wantExtraWork: a mid-query crash loses completed work, so the
+		// trace must charge more total work than the fault-free run.
+		wantExtraWork bool
+	}{
+		// Site 2 dies while its ordinal-2 instance is in flight: the
+		// attempt's work is lost and the instance fails over to the backup.
+		{"site crash mid-query", "seed=1;crash=2@2", 1, true, true},
+		// Site 1 is already dead when the query starts: pure failover.
+		{"site dead at start", "seed=1;crash=1@0", 1, true, false},
+		// Flaky transport: sends fail at 10% per attempt; retries redraw a
+		// fresh outcome, so every instance eventually gets through.
+		{"flaky transport", "seed=2;sendfail=0.1", 1, true, false},
+		// Compound: a crash plus a 2x-slow surviving site.
+		{"crash with slow survivor", "seed=5;crash=3@1;slow=1x2.0", 1, true, true},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			e := openChaosEngine(t, sc.backups, sc.spec)
+			retries := 0
+			var work float64
+			for _, workers := range []int{1, 0} {
+				e.SetExecParallelism(workers)
+				for _, id := range chaosQueries {
+					res, err := e.Query(tpch.QueryByID(id).SQL)
+					if err != nil {
+						t.Fatalf("workers=%d Q%d: %v", workers, id, err)
+					}
+					got := rowStrings(res)
+					if len(got) != len(want[id]) {
+						t.Fatalf("workers=%d Q%d: %d rows, want %d",
+							workers, id, len(got), len(want[id]))
+					}
+					for i := range got {
+						if got[i] != want[id][i] {
+							t.Fatalf("workers=%d Q%d row %d differs:\n got %s\nwant %s",
+								workers, id, i, got[i], want[id][i])
+						}
+					}
+					retries += res.Stats.Retries
+					work += res.Stats.Work - wantWork[id]
+				}
+			}
+			if sc.wantRetries && retries == 0 {
+				t.Error("no retries recorded; the fault plan injected nothing")
+			}
+			if sc.wantExtraWork && work <= 0 {
+				t.Errorf("total work delta = %g; a mid-query crash must charge lost work", work)
+			}
+		})
+	}
+}
+
+// TestChaosNoBackupsFailsCleanly: with zero redundancy a crashed site
+// turns into a clean aggregate error, not a panic, hang, or wrong rows.
+func TestChaosNoBackupsFailsCleanly(t *testing.T) {
+	checkGoroutineLeaks(t)
+	e := openChaosEngine(t, 0, "seed=1;crash=2@0")
+	for _, id := range chaosQueries {
+		_, err := e.Query(tpch.QueryByID(id).SQL)
+		if err == nil {
+			t.Fatalf("Q%d: crashed site with no backups must fail", id)
+		}
+	}
+}
+
+// TestChaosErrorTextDeterministic: when several instances fail, the
+// joined error reports every distinct failure in deterministic job
+// order — identical text at Workers=1 and Workers=8.
+func TestChaosErrorTextDeterministic(t *testing.T) {
+	checkGoroutineLeaks(t)
+	e := openChaosEngine(t, 0, "seed=1;crash=1@0;crash=2@0")
+	q := tpch.QueryByID(1).SQL
+	e.SetExecParallelism(1)
+	_, errSeq := e.Query(q)
+	if errSeq == nil {
+		t.Fatal("two crashed sites with no backups must fail")
+	}
+	e.SetExecParallelism(8)
+	_, errPar := e.Query(q)
+	if errPar == nil {
+		t.Fatal("two crashed sites with no backups must fail")
+	}
+	if errSeq.Error() != errPar.Error() {
+		t.Errorf("error text depends on worker count:\nworkers=1: %s\nworkers=8: %s",
+			errSeq, errPar)
+	}
+}
+
+// openCancelEngine: the IC baseline with the work limit disabled, so its
+// mis-planned nested-loop joins run indefinitely unless cancelled.
+func openCancelEngine(t *testing.T) *gignite.Engine {
+	t.Helper()
+	cfg := gignite.IC(4)
+	cfg.ExecWorkLimit = -1
+	e := gignite.Open(cfg)
+	if err := tpch.Setup(e, chaosSF); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// longRunningSQL forces a huge nested-loop join (the condition is not an
+// equi-join, so every plan falls back to NL) that emits nothing — only
+// cancellation can stop it early.
+const longRunningSQL = `select count(*) from lineitem l1, lineitem l2
+where l1.l_orderkey + l2.l_orderkey < 0`
+
+// TestChaosDeadlineCancelsQuery: a context deadline aborts a long query
+// with context.DeadlineExceeded.
+func TestChaosDeadlineCancelsQuery(t *testing.T) {
+	checkGoroutineLeaks(t)
+	e := openCancelEngine(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := e.QueryContext(ctx, longRunningSQL)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+
+	// Config.QueryTimeout is the engine-level form of the same deadline.
+	cfg := e.Config()
+	cfg.QueryTimeout = time.Millisecond
+	te := gignite.Open(cfg)
+	if err := tpch.Setup(te, chaosSF); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := te.Query(longRunningSQL); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("QueryTimeout err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestChaosClientCancelMidWave: an explicit client cancel fired while the
+// first wave is executing stops the query with context.Canceled.
+func TestChaosClientCancelMidWave(t *testing.T) {
+	checkGoroutineLeaks(t)
+	e := openCancelEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := e.QueryContext(ctx, longRunningSQL)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Without cancellation this join is ~10^9 row evaluations; returning
+	// quickly proves the operators observed the cancel mid-execution.
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("cancel took %v to take effect", elapsed)
+	}
+}

@@ -5,11 +5,19 @@
 //
 //	benchrunner -exp fig7|fig8|fig9|fig10|fig11|table3|failures|ablate|all
 //	            [-sf 0.005,0.01] [-sites 4,8] [-par 0]
+//	            [-backups 0] [-faults SPEC] [-timeout 0]
 //
 // Response times are deterministic modeled times from the simnet cost
 // clock (see DESIGN.md), so runs are reproducible across hosts — and
 // independent of -par, which only sets how many host goroutines execute
 // fragment instances (wall-clock speed of the run itself).
+//
+// Fault-tolerance experiments (DESIGN.md §fault model): -backups keeps N
+// backup replicas per partition, -faults injects a deterministic fault
+// plan (e.g. "seed=7;crash=2@4;sendfail=0.05"), and -timeout bounds each
+// query's wall-clock time. With backups ≥ 1 the modeled times include
+// retry recovery cost; with backups = 0 a crashed site turns into clean
+// query errors.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 
+	"gignite"
 	"gignite/internal/harness"
 )
 
@@ -27,10 +36,21 @@ func main() {
 	sfs := flag.String("sf", "0.005,0.01", "comma-separated scale factors")
 	sites := flag.String("sites", "4,8", "comma-separated site counts")
 	par := flag.Int("par", 0, "host execution parallelism: 0 = GOMAXPROCS, 1 = sequential")
+	backups := flag.Int("backups", 0, "backup replicas per partition (0 = no redundancy)")
+	faultSpec := flag.String("faults", "", `fault plan, e.g. "seed=7;crash=2@4;slow=1x2;sendfail=0.05"`)
+	timeout := flag.Duration("timeout", 0, "per-query wall-clock deadline (0 = none)")
 	flag.Parse()
+
+	plan, err := gignite.ParseFaults(*faultSpec)
+	if err != nil {
+		fatalf("bad -faults spec: %v", err)
+	}
 
 	opts := harness.Options{Env: harness.NewEnv()}
 	opts.Env.Parallelism = *par
+	opts.Env.Backups = *backups
+	opts.Env.Faults = plan
+	opts.Env.Timeout = *timeout
 	for _, s := range strings.Split(*sfs, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 		if err != nil {

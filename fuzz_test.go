@@ -143,3 +143,44 @@ func (g *queryGen) joinAggSelect() string {
 		GROUP BY d.dname ORDER BY n DESC, d.dname LIMIT %d`,
 		g.empPredQ("e."), 1+g.intn(5))
 }
+
+// FuzzFaultPlanSpec: the fault-plan parser must reject malformed specs
+// with an error — never panic — and accepted plans must round-trip
+// through String and re-Parse to the same plan.
+func FuzzFaultPlanSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"seed=7",
+		"crash=2@4",
+		"slow=1x2.5",
+		"sendfail=0.05",
+		"seed=7;crash=2@4;slow=1x2.5;sendfail=0.05",
+		"crash=2@4;crash=3@0",
+		"crash=-1@4",
+		"slow=1x-2",
+		"sendfail=1.5",
+		"seed=;crash=@;slow=x;sendfail=",
+		"crash=2@4;crash=2@9",
+		" seed=1 ; crash=0@0 ",
+		"bogus=1",
+		"crash=18446744073709551616@1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		plan, err := ParseFaults(spec)
+		if err != nil {
+			return // rejected cleanly
+		}
+		if plan == nil {
+			return // empty spec
+		}
+		back, err := ParseFaults(plan.String())
+		if err != nil {
+			t.Fatalf("round-trip of %q failed to re-parse %q: %v", spec, plan.String(), err)
+		}
+		if back.String() != plan.String() {
+			t.Fatalf("round-trip of %q not stable: %q vs %q", spec, plan.String(), back.String())
+		}
+	})
+}

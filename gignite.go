@@ -18,6 +18,7 @@
 package gignite
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -28,6 +29,7 @@ import (
 	"gignite/internal/catalog"
 	"gignite/internal/cluster"
 	"gignite/internal/cost"
+	"gignite/internal/faults"
 	"gignite/internal/fragment"
 	"gignite/internal/hep"
 	"gignite/internal/logical"
@@ -63,11 +65,25 @@ var (
 	ErrQueryTimeout = errors.New("gignite: query exceeded the execution work limit")
 )
 
+// FaultPlan is a deterministic fault-injection plan (see package faults
+// for the spec grammar: "seed=N;crash=SITE@ORDINAL;slow=SITExFACTOR;
+// sendfail=RATE").
+type FaultPlan = faults.Plan
+
+// ParseFaults parses a fault-plan spec string. An empty spec returns
+// (nil, nil); malformed specs return an error, never panic.
+func ParseFaults(spec string) (*FaultPlan, error) { return faults.Parse(spec) }
+
 // Config selects the engine's composition. The zero value is not valid;
 // start from IC, ICPlus or ICPlusM and adjust.
 type Config struct {
 	// Sites is the number of processing sites in the simulated cluster.
 	Sites int
+	// Backups is the number of backup replicas each partition keeps on
+	// the following sites (Ignite's CacheConfiguration.backups). 0 means
+	// no redundancy: a site crash loses its partitions. Values are capped
+	// at Sites-1.
+	Backups int
 
 	// --- §4 query planner improvements ---
 
@@ -113,6 +129,21 @@ type Config struct {
 	// (0 = default; < 0 = unlimited). It reproduces the paper's four-hour
 	// runtime limit.
 	ExecWorkLimit float64
+	// ExecRowLimit bounds the rows a single fragment instance's joins may
+	// materialize before the query aborts with ErrQueryTimeout
+	// (0 = unlimited). It backstops ExecWorkLimit against runaway cross
+	// products that would exhaust host memory before the work limit
+	// trips. The presets use DefaultExecRowLimit.
+	ExecRowLimit int64
+	// QueryTimeout, when positive, bounds each query's wall-clock time:
+	// queries run under a context deadline and return
+	// context.DeadlineExceeded when it fires. Explicit deadlines on the
+	// context passed to ExecContext/QueryContext take precedence.
+	QueryTimeout time.Duration
+	// Faults is an optional deterministic fault-injection plan applied to
+	// every query (site crashes, slow sites, flaky transport). nil
+	// injects nothing. See ParseFaults.
+	Faults *FaultPlan
 	// ExperimentalViews enables CREATE VIEW and view expansion — an
 	// extension beyond the paper's system (Ignite+Calcite rejects views,
 	// which is what excludes TPC-H Q15). Off in every preset so the
@@ -126,9 +157,15 @@ type Config struct {
 // modeled testbed profile.
 const DefaultExecWorkLimit = 2.5e9
 
+// DefaultExecRowLimit is the presets' per-instance join materialization
+// bound. It is calibrated to DefaultExecWorkLimit (one row of emission
+// charge per ~100 work units), so it trips on memory-hostile cross
+// products at about the point the work limit would.
+const DefaultExecRowLimit int64 = 25_000_000
+
 // IC returns the baseline Apache Ignite 2.16 configuration.
 func IC(sites int) Config {
-	return Config{Sites: sites, Sim: simnet.DefaultParams()}
+	return Config{Sites: sites, ExecRowLimit: DefaultExecRowLimit, Sim: simnet.DefaultParams()}
 }
 
 // ICPlus returns the paper's improved configuration (§4 + §5.1 + §5.2).
@@ -144,6 +181,7 @@ func ICPlus(sites int) Config {
 		HashJoin:                    true,
 		FullyDistributedJoins:       true,
 		JoinConditionSimplification: true,
+		ExecRowLimit:                DefaultExecRowLimit,
 		Sim:                         simnet.DefaultParams(),
 	}
 }
@@ -174,9 +212,13 @@ func Open(cfg Config) *Engine {
 		cfg.ExecWorkLimit = DefaultExecWorkLimit
 	}
 	cat := catalog.New()
-	store := storage.NewStore(cat, cfg.Sites)
+	store := storage.NewReplicatedStore(cat, cfg.Sites, cfg.Backups)
 	cl := cluster.New(store, cfg.Sim)
 	cl.Workers = cfg.ExecParallelism
+	if cfg.ExecRowLimit > 0 {
+		cl.RowLimit = cfg.ExecRowLimit
+	}
+	cl.Faults = faults.New(cfg.Faults)
 	return &Engine{
 		cfg:     cfg,
 		catalog: cat,
@@ -224,6 +266,9 @@ type ExecStats struct {
 	Instances int
 	// Workers is the host worker-pool size the query executed with.
 	Workers int
+	// Retries counts fault-recovery events (failed attempts retried or
+	// failed over onto a replica site).
+	Retries int
 	// PlanTickets is the planner search effort.
 	PlanTickets int
 }
@@ -233,6 +278,14 @@ type ExecStats struct {
 // parallel (the paper's multi-client AQL setting), while DDL and INSERT
 // serialize against the storage and catalog write locks.
 func (e *Engine) Exec(query string) (*Result, error) {
+	return e.ExecContext(context.Background(), query)
+}
+
+// ExecContext is Exec with cancellation: SELECT execution observes ctx
+// at wave barriers and row-batch boundaries and returns ctx.Err() (e.g.
+// context.DeadlineExceeded) once it fires. DDL and INSERT are not
+// cancellable mid-flight.
+func (e *Engine) ExecContext(ctx context.Context, query string) (*Result, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
@@ -301,7 +354,7 @@ func (e *Engine) Exec(query string) (*Result, error) {
 	case *sql.ExplainStmt:
 		return e.explain(s.Query)
 	case *sql.SelectStmt:
-		return e.query(s)
+		return e.query(ctx, s)
 	default:
 		return nil, fmt.Errorf("gignite: unsupported statement %T", stmt)
 	}
@@ -309,11 +362,16 @@ func (e *Engine) Exec(query string) (*Result, error) {
 
 // Query executes a SELECT statement.
 func (e *Engine) Query(query string) (*Result, error) {
+	return e.QueryContext(context.Background(), query)
+}
+
+// QueryContext executes a SELECT under a context (see ExecContext).
+func (e *Engine) QueryContext(ctx context.Context, query string) (*Result, error) {
 	sel, err := sql.ParseSelect(query)
 	if err != nil {
 		return nil, err
 	}
-	return e.query(sel)
+	return e.query(ctx, sel)
 }
 
 // Explain returns the fragmented physical plan for a SELECT.
@@ -393,7 +451,17 @@ func (e *Engine) plan(sel *sql.SelectStmt) (physical.Node, *volcano.Planner, err
 	return pp, vp, nil
 }
 
-func (e *Engine) query(sel *sql.SelectStmt) (*Result, error) {
+func (e *Engine) query(ctx context.Context, sel *sql.SelectStmt) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if e.cfg.QueryTimeout > 0 {
+		if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, e.cfg.QueryTimeout)
+			defer cancel()
+		}
+	}
 	pp, vp, err := e.plan(sel)
 	if err != nil {
 		return nil, err
@@ -407,7 +475,7 @@ func (e *Engine) query(sel *sql.SelectStmt) (*Result, error) {
 	if limit < 0 {
 		limit = 0
 	}
-	res, err := e.cluster.ExecuteLimited(fp, variants, limit)
+	res, err := e.cluster.ExecuteLimited(ctx, fp, variants, limit)
 	if err != nil {
 		if errors.Is(err, cluster.ErrWorkLimit) {
 			return nil, fmt.Errorf("%w: %v", ErrQueryTimeout, err)
@@ -424,6 +492,7 @@ func (e *Engine) query(sel *sql.SelectStmt) (*Result, error) {
 			Fragments:    res.Fragments,
 			Instances:    res.Instances,
 			Workers:      res.Workers,
+			Retries:      res.Retries,
 			PlanTickets:  vp.TicketsUsed,
 		},
 	}, nil

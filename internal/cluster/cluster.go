@@ -12,9 +12,23 @@
 // still comes from the simnet cost clock, which accounts for the paper's
 // per-fragment threads analytically (see DESIGN.md §2 and package
 // simnet).
+//
+// The scheduler is fault-tolerant: when an instance fails with an
+// injected fault (site crash, transport send failure — see package
+// faults), it is retried with capped exponential backoff, failing over
+// hash-partitioned fragments onto the next replica site of their
+// partition. A retried instance keeps its logical identity (Site,
+// Variant), so its resent shipments order identically at receivers and
+// failover results stay byte-identical to the fault-free run; the failed
+// attempt's work and discarded bytes are charged to the simnet trace as
+// retry cost. When a wave fails terminally, all distinct instance
+// failures are reported together (errors.Join) in deterministic job
+// order, identical at every worker count.
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -22,6 +36,7 @@ import (
 	"time"
 
 	"gignite/internal/exec"
+	"gignite/internal/faults"
 	"gignite/internal/fragment"
 	"gignite/internal/physical"
 	"gignite/internal/simnet"
@@ -39,7 +54,29 @@ type Cluster struct {
 	// path (used by plan-diff tooling and determinism tests). Results
 	// and modeled times are identical at every setting.
 	Workers int
+	// RowLimit bounds the rows one instance's join emission may
+	// materialize (0 = unlimited). It keeps runaway cross products from
+	// exhausting host memory before the work limit trips. This is an
+	// explicit knob — it is no longer derived from the work limit.
+	RowLimit int64
+	// Faults is the query-fault injector (nil = inject nothing).
+	Faults *faults.Injector
+	// RetryBackoffBase and RetryBackoffCap bound the capped exponential
+	// backoff between failover attempts of one instance (real sleep,
+	// wall-clock only; zero values use DefaultRetryBackoffBase/Cap).
+	RetryBackoffBase time.Duration
+	RetryBackoffCap  time.Duration
 }
+
+// Default retry backoff bounds: tiny, because the "network" is in-process;
+// they exist so the backoff path is real and configurable.
+const (
+	DefaultRetryBackoffBase = 100 * time.Microsecond
+	DefaultRetryBackoffCap  = 2 * time.Millisecond
+	// maxExtraSendRetries bounds same-host retries of flaky sends beyond
+	// the replica-chain length.
+	maxExtraSendRetries = 3
+)
 
 // New creates a cluster over a store.
 func New(store *storage.Store, sim simnet.Params) *Cluster {
@@ -52,13 +89,17 @@ type Result struct {
 	Fields types.Fields
 	// Modeled is the cost-clock response time on the modeled testbed.
 	Modeled time.Duration
-	// Work is the total CPU work units across all instances.
+	// Work is the total CPU work units across all instances, including
+	// work lost to failed attempts.
 	Work float64
-	// BytesShipped is the total network volume.
+	// BytesShipped is the total network volume, including resent bytes.
 	BytesShipped float64
 	// Fragments and Instances count the execution plan's parallel units.
 	Fragments int
 	Instances int
+	// Retries counts recovery events: failed attempts that were retried
+	// or failed over to a replica site.
+	Retries int
 	// Workers is the host worker-pool size the execution ran with.
 	Workers int
 }
@@ -67,18 +108,28 @@ type Result struct {
 var ErrWorkLimit = exec.ErrWorkLimit
 
 // Execute runs a fragmented plan. variants > 1 enables §5.3 variant
-// fragments (IC+M runs with 2).
-func (c *Cluster) Execute(plan *fragment.Plan, variants int) (*Result, error) {
-	return c.ExecuteLimited(plan, variants, 0)
+// fragments (IC+M runs with 2). ctx cancels in-flight waves.
+func (c *Cluster) Execute(ctx context.Context, plan *fragment.Plan, variants int) (*Result, error) {
+	return c.ExecuteLimited(ctx, plan, variants, 0)
 }
 
 // instanceJob is one schedulable (fragment × site × variant) instance.
 type instanceJob struct {
-	frag      *fragment.Fragment
+	frag *fragment.Fragment
+	// site is the instance's logical site. For hash-content fragments it
+	// doubles as the partition the instance covers; failover moves the
+	// instance to another replica host without changing it.
 	site      int
 	variant   int
 	nVariants int
 	modes     map[physical.Node]fragment.SourceMode
+	// ordinal is the instance's deterministic global sequence number
+	// (assigned in wave order before execution); fault plans address
+	// instances by it.
+	ordinal int
+	// partitioned marks hash-content fragments, which may fail over
+	// across their partition's replica chain.
+	partitioned bool
 }
 
 // instanceResult is the per-instance outcome a worker hands back to the
@@ -87,13 +138,31 @@ type instanceJob struct {
 type instanceResult struct {
 	rows    []types.Row
 	work    float64
+	host    int
+	retries []simnet.Retry
 	err     error
-	skipped bool
 }
+
+// siteState is a site's condition from the perspective of one instance
+// ordinal (deterministic logical time).
+type siteState uint8
+
+const (
+	siteAlive siteState = iota
+	// siteDying: the site dies while this instance is in flight — the
+	// attempt executes and its outputs are lost.
+	siteDying
+	// siteDead: the site died at an earlier ordinal; attempts fail
+	// immediately with no work done.
+	siteDead
+)
 
 // ExecuteLimited is Execute with a per-instance work limit (0 =
 // unlimited), reproducing the paper's query runtime limit.
-func (c *Cluster) ExecuteLimited(plan *fragment.Plan, variants int, workLimit float64) (*Result, error) {
+func (c *Cluster) ExecuteLimited(ctx context.Context, plan *fragment.Plan, variants int, workLimit float64) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	waves, err := plan.Waves()
 	if err != nil {
 		return nil, err
@@ -103,29 +172,37 @@ func (c *Cluster) ExecuteLimited(plan *fragment.Plan, variants int, workLimit fl
 		workers = runtime.GOMAXPROCS(0)
 	}
 	transport := exec.NewTransport()
+	if inj := c.Faults; inj.SendFailRate() > 0 {
+		transport.FailSend = func(exchange, toSite int, b *exec.Batch) error {
+			if inj.SendFails(exchange, b.FromFrag, b.FromSite, b.FromVariant, toSite, b.Attempt) {
+				return fmt.Errorf("exchange %d send %d→%d: %w", exchange, b.FromSite, toSite, faults.ErrSendFail)
+			}
+			return nil
+		}
+	}
 	trace := &simnet.Trace{
 		Instances: make(map[int][]simnet.Instance),
-		Consumer:  make(map[int]int),
+		Consumers: make(map[int][]int),
 	}
 	for _, f := range plan.Fragments {
 		for _, ex := range f.Receivers {
-			trace.Consumer[ex] = f.ID
+			trace.Consumers[ex] = append(trace.Consumers[ex], f.ID)
 		}
 		if f.IsRoot {
 			trace.RootFrag = f.ID
 		}
 	}
 
-	var (
-		resultRows   []types.Row
-		resultFields types.Fields
-		instances    int
-	)
-	for _, wave := range waves {
-		var jobs []instanceJob
+	// Build every wave's jobs up front, assigning deterministic instance
+	// ordinals in wave order: fault plans and failure reports address
+	// instances by ordinal, never by arrival order, so outcomes are
+	// identical at every worker count.
+	waveJobs := make([][]instanceJob, len(waves))
+	ordinal := 0
+	for w, wave := range waves {
 		for _, f := range wave {
 			trace.Order = append(trace.Order, f.ID)
-			sites := c.fragmentSites(f)
+			sites, partitioned := c.fragmentSites(f)
 			vs := fragment.BuildVariants(f, variants)
 			n := 1
 			var modes map[physical.Node]fragment.SourceMode
@@ -135,25 +212,73 @@ func (c *Cluster) ExecuteLimited(plan *fragment.Plan, variants int, workLimit fl
 			}
 			for _, site := range sites {
 				for v := 0; v < n; v++ {
-					jobs = append(jobs, instanceJob{frag: f, site: site, variant: v, nVariants: n, modes: modes})
+					waveJobs[w] = append(waveJobs[w], instanceJob{
+						frag: f, site: site, variant: v, nVariants: n, modes: modes,
+						ordinal: ordinal, partitioned: partitioned,
+					})
+					ordinal++
 				}
 			}
 		}
+	}
+	// dying[site] is the ordinal of the one instance that is in flight at
+	// that site when the fault plan crashes it: the smallest primary
+	// ordinal at the site at or past the crash point. That instance runs
+	// and loses its work; every later ordinal finds the site dead.
+	dying := make(map[int]int)
+	if c.Faults != nil {
+		for _, jobs := range waveJobs {
+			for _, j := range jobs {
+				if n, ok := c.Faults.CrashPoint(j.site); ok && j.ordinal >= n {
+					if _, seen := dying[j.site]; !seen {
+						dying[j.site] = j.ordinal
+					}
+				}
+			}
+		}
+	}
+
+	var (
+		resultRows   []types.Row
+		resultFields types.Fields
+		instances    int
+		retryCount   int
+	)
+	for _, jobs := range waveJobs {
+		if len(jobs) == 0 {
+			continue
+		}
 		results := make([]instanceResult, len(jobs))
-		c.runWave(jobs, results, transport, workers, workLimit)
+		c.runWave(ctx, jobs, results, transport, workers, workLimit, dying)
+
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 
 		// Merge at the wave barrier, in deterministic job order, so the
-		// trace and the reported error are identical at every worker
-		// count.
+		// trace and the reported errors are identical at every worker
+		// count. All of a failed wave's distinct failures are reported
+		// together; instances are never skipped, so the failure set does
+		// not depend on scheduling.
+		var (
+			waveErrs []error
+			seen     map[string]bool
+		)
 		for i := range jobs {
-			j, r := jobs[i], results[i]
-			if r.skipped {
+			j, r := jobs[i], &results[i]
+			if r.err != nil {
+				if seen == nil {
+					seen = make(map[string]bool)
+				}
+				if key := r.err.Error(); !seen[key] {
+					seen[key] = true
+					waveErrs = append(waveErrs, fmt.Errorf("cluster: fragment %d at site %d: %w", j.frag.ID, j.site, r.err))
+				}
 				continue
 			}
-			if r.err != nil {
-				return nil, fmt.Errorf("cluster: fragment %d at site %d: %w", j.frag.ID, j.site, r.err)
-			}
 			instances++
+			retryCount += len(r.retries)
+			trace.Retries = append(trace.Retries, r.retries...)
 			trace.Instances[j.frag.ID] = append(trace.Instances[j.frag.ID], simnet.Instance{
 				Frag: j.frag.ID, Site: j.site, Variant: j.variant, Work: r.work,
 			})
@@ -161,6 +286,9 @@ func (c *Cluster) ExecuteLimited(plan *fragment.Plan, variants int, workLimit fl
 				resultRows = r.rows
 				resultFields = j.frag.Root.Schema()
 			}
+		}
+		if len(waveErrs) > 0 {
+			return nil, errors.Join(waveErrs...)
 		}
 	}
 
@@ -179,41 +307,34 @@ func (c *Cluster) ExecuteLimited(plan *fragment.Plan, variants int, workLimit fl
 		BytesShipped: trace.TotalBytes(),
 		Fragments:    len(plan.Fragments),
 		Instances:    instances,
+		Retries:      retryCount,
 		Workers:      workers,
 	}, nil
 }
 
+// siteStateAt evaluates a site's condition at one instance ordinal under
+// the fault plan (see siteState).
+func (c *Cluster) siteStateAt(site, ordinal int, dying map[int]int) siteState {
+	n, ok := c.Faults.CrashPoint(site)
+	if !ok || ordinal < n {
+		return siteAlive
+	}
+	if d, isDying := dying[site]; isDying && ordinal == d {
+		return siteDying
+	}
+	return siteDead
+}
+
 // runWave executes one wave's instances on at most `workers` goroutines.
 // Each instance gets a private exec.Context, so work counters accumulate
-// without sharing; once any instance fails, undispatched instances are
-// skipped (the sequential early-exit behaviour, made race-safe).
-func (c *Cluster) runWave(jobs []instanceJob, results []instanceResult,
-	transport *exec.Transport, workers int, workLimit float64) {
+// without sharing. Every instance runs to completion (or terminal
+// failure) — failures never skip sibling instances, which keeps the
+// wave's failure set deterministic; only context cancellation stops the
+// wave early.
+func (c *Cluster) runWave(ctx context.Context, jobs []instanceJob, results []instanceResult,
+	transport *exec.Transport, workers int, workLimit float64, dying map[int]int) {
 
-	var failed atomic.Bool
-	run := func(i int) {
-		if failed.Load() {
-			results[i].skipped = true
-			return
-		}
-		j := jobs[i]
-		ctx := &exec.Context{
-			Store:     c.Store,
-			Transport: transport,
-			FragID:    j.frag.ID,
-			Site:      j.site,
-			Variant:   j.variant,
-			NVariants: j.nVariants,
-			Modes:     j.modes,
-			WorkLimit: workLimit,
-			RowLimit:  int64(workLimit / 100),
-		}
-		rows, err := exec.Run(j.frag.Root, ctx)
-		if err != nil {
-			failed.Store(true)
-		}
-		results[i] = instanceResult{rows: rows, work: ctx.CPUWork, err: err}
-	}
+	run := func(i int) { c.runInstance(ctx, jobs[i], &results[i], transport, workLimit, dying) }
 
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -243,12 +364,141 @@ func (c *Cluster) runWave(jobs []instanceJob, results []instanceResult,
 	wg.Wait()
 }
 
+// runInstance executes one instance with retry and replica failover. The
+// attempt sequence is a pure function of the job's identity and the fault
+// plan, so it is identical at every worker count.
+func (c *Cluster) runInstance(ctx context.Context, j instanceJob, r *instanceResult,
+	transport *exec.Transport, workLimit float64, dying map[int]int) {
+
+	// The failover chain: hash-content fragments may run at any replica
+	// of their partition; everything else is pinned to its site.
+	chain := []int{j.site}
+	if j.partitioned {
+		chain = c.Store.ReplicaSites(j.site)
+	}
+	maxAttempts := len(chain) + maxExtraSendRetries
+
+	hostIdx := 0
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			r.err = err
+			return
+		}
+		// Find the next live replica. Dead hosts are skipped without an
+		// attempt (the failure detector already knows they are gone); the
+		// skip is still recorded as a zero-cost recovery event.
+		host, state := -1, siteAlive
+		for hostIdx < len(chain) {
+			h := chain[hostIdx]
+			if st := c.siteStateAt(h, j.ordinal, dying); st != siteDead {
+				host, state = h, st
+				break
+			}
+			r.retries = append(r.retries, simnet.Retry{
+				Frag: j.frag.ID, Site: j.site, Variant: j.variant, Host: chain[hostIdx],
+			})
+			hostIdx++
+		}
+		if host < 0 {
+			if j.partitioned && c.Store.Backups() == 0 {
+				r.err = fmt.Errorf("partition %d has no backup replicas to fail over to: %w",
+					j.site, faults.ErrSiteCrash)
+			} else if j.partitioned {
+				r.err = fmt.Errorf("all %d replicas of partition %d are down: %w",
+					len(chain), j.site, faults.ErrSiteCrash)
+			} else {
+				r.err = fmt.Errorf("site %d is down and fragment %d cannot fail over: %w",
+					j.site, j.frag.ID, faults.ErrSiteCrash)
+			}
+			return
+		}
+
+		ectx := &exec.Context{
+			Store:     c.Store,
+			Transport: transport,
+			FragID:    j.frag.ID,
+			Site:      j.site,
+			Host:      host,
+			Attempt:   attempt,
+			Ctx:       ctx,
+			Faults:    c.Faults,
+			Variant:   j.variant,
+			NVariants: j.nVariants,
+			Modes:     j.modes,
+			WorkLimit: workLimit,
+			RowLimit:  c.RowLimit,
+		}
+		rows, err := exec.Run(j.frag.Root, ectx)
+		if err == nil && state == siteDying {
+			err = fmt.Errorf("site %d died mid-instance: %w", host, faults.ErrSiteCrash)
+		}
+		if err == nil {
+			r.rows = rows
+			r.host = host
+			// A slow site is charged proportionally more work: the simnet
+			// clock converts work to time, so the slowdown lands in the
+			// modeled response time.
+			r.work = ectx.CPUWork * c.Faults.Slowdown(host)
+			return
+		}
+
+		// Roll back this attempt's shipments so a retry never duplicates
+		// rows (and a terminally failed instance never leaks partial
+		// sends into the trace).
+		bytes, _ := transport.DiscardFrom(j.frag.ID, j.site, j.variant)
+
+		if !faults.Injected(err) || attempt == maxAttempts-1 {
+			r.err = err
+			return
+		}
+		// Retryable fault: charge the lost attempt (its CPU work and the
+		// bytes that must be resent) and fail over.
+		r.retries = append(r.retries, simnet.Retry{
+			Frag: j.frag.ID, Site: j.site, Variant: j.variant, Host: host,
+			Work: ectx.CPUWork * c.Faults.Slowdown(host), Bytes: bytes,
+		})
+		if errors.Is(err, faults.ErrSiteCrash) {
+			hostIdx++ // this replica is gone; move down the chain
+		}
+		if !c.backoff(ctx, attempt) {
+			r.err = ctx.Err()
+			return
+		}
+	}
+}
+
+// backoff sleeps the capped exponential backoff for an attempt; it
+// returns false when the context is cancelled while waiting.
+func (c *Cluster) backoff(ctx context.Context, attempt int) bool {
+	base, cap := c.RetryBackoffBase, c.RetryBackoffCap
+	if base <= 0 {
+		base = DefaultRetryBackoffBase
+	}
+	if cap <= 0 {
+		cap = DefaultRetryBackoffCap
+	}
+	d := base << uint(attempt)
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-timer.C:
+		return true
+	}
+}
+
 // fragmentSites determines where a fragment executes, from the
 // distribution trait of its content (§3.2.3: "the distribution traits
 // from the operators in each fragment determine the processing sites").
-func (c *Cluster) fragmentSites(f *fragment.Fragment) []int {
+// partitioned reports whether the fragment's instances cover hash
+// partitions (and may therefore fail over across replica sites).
+func (c *Cluster) fragmentSites(f *fragment.Fragment) (sites []int, partitioned bool) {
 	if f.IsRoot {
-		return []int{0}
+		return []int{0}, false
 	}
 	content := f.Root.Inputs()[0] // the sender's child
 	switch content.Dist().Type {
@@ -257,10 +507,10 @@ func (c *Cluster) fragmentSites(f *fragment.Fragment) []int {
 		for i := range sites {
 			sites[i] = i
 		}
-		return sites
+		return sites, true
 	default:
 		// Single-distributed content runs at the coordinator; broadcast
 		// content is identical everywhere, so one canonical copy executes.
-		return []int{0}
+		return []int{0}, false
 	}
 }

@@ -1,11 +1,15 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"sort"
+	"strings"
 	"testing"
 
 	"gignite/internal/catalog"
 	"gignite/internal/expr"
+	"gignite/internal/faults"
 	"gignite/internal/fragment"
 	"gignite/internal/physical"
 	"gignite/internal/simnet"
@@ -55,7 +59,7 @@ func buildPlan(t *testing.T, c *Cluster) *fragment.Plan {
 func TestExecuteCollectsAllPartitions(t *testing.T) {
 	for _, sites := range []int{1, 3, 5} {
 		c := testCluster(t, sites)
-		res, err := c.Execute(buildPlan(t, c), 1)
+		res, err := c.Execute(context.Background(), buildPlan(t, c), 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -80,11 +84,11 @@ func TestExecuteCollectsAllPartitions(t *testing.T) {
 
 func TestVariantsSameResultsMoreInstances(t *testing.T) {
 	c := testCluster(t, 2)
-	single, err := c.Execute(buildPlan(t, c), 1)
+	single, err := c.Execute(context.Background(), buildPlan(t, c), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dual, err := c.Execute(buildPlan(t, c), 2)
+	dual, err := c.Execute(context.Background(), buildPlan(t, c), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,13 +120,13 @@ func TestParallelMatchesSequential(t *testing.T) {
 	for _, variants := range []int{1, 2} {
 		c := testCluster(t, 4)
 		c.Workers = 1
-		seq, err := c.Execute(buildPlan(t, c), variants)
+		seq, err := c.Execute(context.Background(), buildPlan(t, c), variants)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{2, 4, 16} {
 			c.Workers = workers
-			par, err := c.Execute(buildPlan(t, c), variants)
+			par, err := c.Execute(context.Background(), buildPlan(t, c), variants)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -156,14 +160,14 @@ func TestParallelMatchesSequential(t *testing.T) {
 func TestParallelWorkLimit(t *testing.T) {
 	c := testCluster(t, 4)
 	c.Workers = 4
-	if _, err := c.ExecuteLimited(buildPlan(t, c), 1, 1); err == nil {
+	if _, err := c.ExecuteLimited(context.Background(), buildPlan(t, c), 1, 1); err == nil {
 		t.Error("tiny work limit not enforced under parallel execution")
 	}
 }
 
 func TestWorkLimitPropagates(t *testing.T) {
 	c := testCluster(t, 2)
-	_, err := c.ExecuteLimited(buildPlan(t, c), 1, 1)
+	_, err := c.ExecuteLimited(context.Background(), buildPlan(t, c), 1, 1)
 	if err == nil {
 		t.Error("tiny work limit not enforced")
 	}
@@ -173,7 +177,7 @@ func TestFragmentSitesByDistribution(t *testing.T) {
 	c := testCluster(t, 4)
 	plan := buildPlan(t, c)
 	for _, f := range plan.Fragments {
-		sites := c.fragmentSites(f)
+		sites, _ := c.fragmentSites(f)
 		if f.IsRoot {
 			if len(sites) != 1 || sites[0] != 0 {
 				t.Errorf("root sites = %v", sites)
@@ -216,7 +220,7 @@ func TestDistributedAggregation(t *testing.T) {
 			{Name: "avg_id", Kind: types.KindFloat},
 		})
 	}
-	res, err := c.Execute(fragment.Split(root), 1)
+	res, err := c.Execute(context.Background(), fragment.Split(root), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,5 +239,96 @@ func TestDistributedAggregation(t *testing.T) {
 	}
 	if res.BytesShipped <= 0 {
 		t.Error("no bytes recorded")
+	}
+}
+
+// replicatedTestCluster is testCluster with backup replicas and a fault
+// plan.
+func replicatedTestCluster(t *testing.T, sites, backups int, spec string) *Cluster {
+	t.Helper()
+	c := testCluster(t, sites)
+	plan, err := faults.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := c.Store.Catalog()
+	st := storage.NewReplicatedStore(cat, sites, backups)
+	rows := make([]types.Row, 100)
+	for i := range rows {
+		rows[i] = types.Row{types.NewInt(int64(i)), types.NewInt(int64(i % 4))}
+	}
+	if err := st.Load("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	c.Store = st
+	c.Faults = faults.New(plan)
+	return c
+}
+
+// TestFailoverToBackupReplica: a crashed site's instances rerun on the
+// partition's backup replica; rows are identical to the healthy run and
+// the recovery is visible in Result.Retries.
+func TestFailoverToBackupReplica(t *testing.T) {
+	healthy := testCluster(t, 4)
+	want, err := healthy.Execute(context.Background(), buildPlan(t, healthy), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		// Site 2 dies while instance ordinal 2 (its scan) is in flight.
+		c := replicatedTestCluster(t, 4, 1, "crash=2@2")
+		c.Workers = workers
+		got, err := c.Execute(context.Background(), buildPlan(t, c), 1)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got.Rows) != len(want.Rows) {
+			t.Fatalf("workers=%d: rows %d, want %d", workers, len(got.Rows), len(want.Rows))
+		}
+		for i := range want.Rows {
+			if got.Rows[i].String() != want.Rows[i].String() {
+				t.Fatalf("workers=%d: row %d differs: %s vs %s",
+					workers, i, got.Rows[i], want.Rows[i])
+			}
+		}
+		if got.Retries == 0 {
+			t.Errorf("workers=%d: no retries recorded", workers)
+		}
+		if got.Work <= want.Work {
+			t.Errorf("workers=%d: work %g not above healthy %g (lost work uncharged)",
+				workers, got.Work, want.Work)
+		}
+		if got.Modeled <= want.Modeled {
+			t.Errorf("workers=%d: modeled %v not above healthy %v",
+				workers, got.Modeled, want.Modeled)
+		}
+	}
+}
+
+// TestCrashWithoutBackupsFails: zero redundancy turns a crash into a
+// clean error naming the lost partition.
+func TestCrashWithoutBackupsFails(t *testing.T) {
+	c := replicatedTestCluster(t, 4, 0, "crash=1@0")
+	_, err := c.Execute(context.Background(), buildPlan(t, c), 1)
+	if err == nil {
+		t.Fatal("crash with no backups must fail")
+	}
+	if !errors.Is(err, faults.ErrSiteCrash) {
+		t.Errorf("err = %v, want ErrSiteCrash in chain", err)
+	}
+	if !strings.Contains(err.Error(), "partition 1") {
+		t.Errorf("error does not name the lost partition: %v", err)
+	}
+}
+
+// TestCancelledContextStopsExecution: a pre-cancelled context returns
+// ctx.Err() without running instances.
+func TestCancelledContextStopsExecution(t *testing.T) {
+	c := testCluster(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.Execute(ctx, buildPlan(t, c), 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }

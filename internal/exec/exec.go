@@ -8,6 +8,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -15,6 +16,7 @@ import (
 	"sync"
 
 	"gignite/internal/cost"
+	"gignite/internal/faults"
 	"gignite/internal/fragment"
 	"gignite/internal/physical"
 	"gignite/internal/storage"
@@ -27,7 +29,10 @@ type Batch struct {
 	FromFrag    int
 	FromSite    int
 	FromVariant int
-	Bytes       int64
+	// Attempt is the sender instance's retry attempt (0 = first try); it
+	// feeds the fault injector so a resent batch draws a fresh outcome.
+	Attempt int
+	Bytes   int64
 	// Sorted carries the sender-side collation for merging receivers.
 	Sorted []types.SortKey
 }
@@ -39,6 +44,9 @@ type Transport struct {
 	batches map[int]map[int][]*Batch
 	// Sends records every shipment for the cost clock.
 	Sends []SendRecord
+	// FailSend, when set, is consulted before every shipment; a non-nil
+	// return fails the send (the cluster wires the fault injector here).
+	FailSend func(exchange, toSite int, b *Batch) error
 }
 
 // SendRecord is the cost-clock view of one shipment.
@@ -57,8 +65,14 @@ func NewTransport() *Transport {
 	return &Transport{batches: make(map[int]map[int][]*Batch)}
 }
 
-// Send ships rows to a target site under an exchange ID.
-func (t *Transport) Send(exchange, toSite int, b *Batch) {
+// Send ships rows to a target site under an exchange ID. It fails only
+// when a FailSend hook rejects the shipment (injected transport faults).
+func (t *Transport) Send(exchange, toSite int, b *Batch) error {
+	if t.FailSend != nil {
+		if err := t.FailSend(exchange, toSite, b); err != nil {
+			return err
+		}
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	m, ok := t.batches[exchange]
@@ -72,6 +86,45 @@ func (t *Transport) Send(exchange, toSite int, b *Batch) {
 		FromVariant: b.FromVariant, ToSite: toSite, Bytes: b.Bytes,
 		Rows: int64(len(b.Rows)),
 	})
+	return nil
+}
+
+// DiscardFrom rolls back every batch and send record shipped by one
+// sender instance, identified by its logical coordinates (fragment,
+// logical site, variant). The retry scheduler calls this before re-running
+// a failed instance so retried shipments never duplicate rows; the
+// returned totals are the rollback's resend cost for the simnet trace.
+// Discarding is safe because consumers only receive at the next wave
+// barrier, after all retries of the producing wave have settled.
+func (t *Transport) DiscardFrom(fromFrag, fromSite, fromVariant int) (bytes float64, rows int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	match := func(frag, site, variant int) bool {
+		return frag == fromFrag && site == fromSite && variant == fromVariant
+	}
+	for _, m := range t.batches {
+		for toSite, bs := range m {
+			kept := bs[:0]
+			for _, b := range bs {
+				if match(b.FromFrag, b.FromSite, b.FromVariant) {
+					continue
+				}
+				kept = append(kept, b)
+			}
+			m[toSite] = kept
+		}
+	}
+	keptSends := t.Sends[:0]
+	for _, s := range t.Sends {
+		if match(s.FromFrag, s.FromSite, s.FromVariant) {
+			bytes += float64(s.Bytes)
+			rows += s.Rows
+			continue
+		}
+		keptSends = append(keptSends, s)
+	}
+	t.Sends = keptSends
+	return bytes, rows
 }
 
 // Receive returns the batches shipped to a site under an exchange ID.
@@ -99,7 +152,21 @@ type Context struct {
 	Store     *storage.Store
 	Transport *Transport
 	FragID    int
-	Site      int
+	// Site is the instance's logical site: the partition slot it covers
+	// and the identity its shipments carry. It never changes across
+	// retries, which is what keeps failover results byte-identical.
+	Site int
+	// Host is the physical site executing this attempt — equal to Site
+	// until a failover moves the instance onto a backup replica. Scans
+	// read partition Site from host Host (storage validates the replica).
+	Host int
+	// Attempt is the retry attempt number (0 = first try).
+	Attempt int
+	// Ctx carries the query's cancellation signal; operators check it at
+	// row-batch boundaries. nil means not cancellable.
+	Ctx context.Context
+	// Faults is the query's fault injector (nil = no faults).
+	Faults *faults.Injector
 	// Variant / NVariants implement §5.3.2 splitters; NVariants is 1 for
 	// single-threaded fragments.
 	Variant   int
@@ -130,6 +197,16 @@ func (c *Context) work(units float64) { c.CPUWork += units }
 // overLimit reports whether the instance has exceeded its work budget.
 func (c *Context) overLimit() bool {
 	return c.WorkLimit > 0 && c.CPUWork > c.WorkLimit
+}
+
+// cancelled returns the query's cancellation error, if any. Operators
+// call it at row-batch boundaries so deadlines and Ctrl-C stop in-flight
+// instances promptly.
+func (c *Context) cancelled() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
 }
 
 // sourceRows applies the §5.3.2 splitter: pass tuple when
@@ -191,9 +268,12 @@ func runNode(n physical.Node, ctx *Context) ([]types.Row, error) {
 	if ctx.overLimit() {
 		return nil, ErrWorkLimit
 	}
+	if err := ctx.cancelled(); err != nil {
+		return nil, err
+	}
 	switch t := n.(type) {
 	case *physical.TableScan:
-		rows, err := ctx.Store.Partition(t.Table.Name, ctx.Site)
+		rows, err := ctx.Store.PartitionAt(t.Table.Name, ctx.Site, ctx.Host)
 		if err != nil {
 			return nil, err
 		}
@@ -201,7 +281,7 @@ func runNode(n physical.Node, ctx *Context) ([]types.Row, error) {
 		return ctx.sourceRows(n, rows), nil
 
 	case *physical.IndexScan:
-		rows, err := ctx.Store.IndexScan(t.Table.Name, t.Index.Name, ctx.Site, nil, nil)
+		rows, err := ctx.Store.IndexScanAt(t.Table.Name, t.Index.Name, ctx.Site, ctx.Host, nil, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -303,7 +383,11 @@ func runNode(n physical.Node, ctx *Context) ([]types.Row, error) {
 	}
 }
 
-// sendRows routes a sender's output per its target distribution.
+// sendRows routes a sender's output per its target distribution. Batches
+// carry the instance's logical coordinates (Site, not Host), so a
+// failed-over sender ships under the same identity the owner would have —
+// receivers order by that identity, keeping failover results
+// byte-identical.
 func sendRows(s *physical.Sender, rows []types.Row, ctx *Context) error {
 	sites := ctx.Store.Sites()
 	mk := func(rs []types.Row) *Batch {
@@ -313,16 +397,19 @@ func sendRows(s *physical.Sender, rows []types.Row, ctx *Context) error {
 		}
 		return &Batch{
 			Rows: rs, FromFrag: ctx.FragID, FromSite: ctx.Site,
-			FromVariant: ctx.Variant, Bytes: bytes, Sorted: s.Collation(),
+			FromVariant: ctx.Variant, Attempt: ctx.Attempt,
+			Bytes: bytes, Sorted: s.Collation(),
 		}
 	}
 	ctx.work(float64(len(rows)) * cost.RPTC)
 	switch s.Target.Type {
 	case physical.Single:
-		ctx.Transport.Send(s.ExchangeID, 0, mk(rows))
+		return ctx.Transport.Send(s.ExchangeID, 0, mk(rows))
 	case physical.Broadcast:
 		for site := 0; site < sites; site++ {
-			ctx.Transport.Send(s.ExchangeID, site, mk(rows))
+			if err := ctx.Transport.Send(s.ExchangeID, site, mk(rows)); err != nil {
+				return err
+			}
 		}
 	case physical.Hash:
 		buckets := make([][]types.Row, sites)
@@ -331,7 +418,9 @@ func sendRows(s *physical.Sender, rows []types.Row, ctx *Context) error {
 			buckets[site] = append(buckets[site], r)
 		}
 		for site, b := range buckets {
-			ctx.Transport.Send(s.ExchangeID, site, mk(b))
+			if err := ctx.Transport.Send(s.ExchangeID, site, mk(b)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

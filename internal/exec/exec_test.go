@@ -60,7 +60,7 @@ func scanNode(t *testing.T, st *storage.Store) *physical.TableScan {
 }
 
 func ctxAt(st *storage.Store, site int) *Context {
-	return &Context{Store: st, Transport: NewTransport(), Site: site, NVariants: 1}
+	return &Context{Store: st, Transport: NewTransport(), Site: site, Host: site, NVariants: 1}
 }
 
 func TestScanFilterProject(t *testing.T) {
@@ -257,7 +257,7 @@ func TestSenderRouting(t *testing.T) {
 	tr := NewTransport()
 	vals := physical.NewValues(fields, rows)
 	s := physical.NewSender(vals, 7, physical.SingleDist)
-	ctx := &Context{Store: st, Transport: tr, Site: 2, NVariants: 1}
+	ctx := &Context{Store: st, Transport: tr, Site: 2, Host: 2, NVariants: 1}
 	if _, err := Run(s, ctx); err != nil {
 		t.Fatal(err)
 	}

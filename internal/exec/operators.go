@@ -32,7 +32,12 @@ func runHashAggregate(groupBy []int, aggs []expr.AggCall, in []types.Row, ctx *C
 	// rehash its way up from empty on every aggregation.
 	groups := make(map[uint64][]*group, len(in)/4+1)
 	order := make([]*group, 0, len(in)/4+1)
-	for _, r := range in {
+	for i, r := range in {
+		if i%4096 == 4095 {
+			if err := ctx.cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		h := r.Hash(groupBy)
 		var g *group
 		for _, cand := range groups[h] {
@@ -156,6 +161,9 @@ func (g *emitGuard) add(n int) error {
 		if g.ctx.RowLimit > 0 && g.ctx.rowsEmitted > g.ctx.RowLimit {
 			return ErrWorkLimit
 		}
+		if err := g.ctx.cancelled(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -178,9 +186,19 @@ func runNestedLoopJoin(j *physical.Join, left, right []types.Row, ctx *Context) 
 		rightW = len(j.Inputs()[1].Schema())
 	}
 	guard := &emitGuard{ctx: ctx}
+	// The inner loop may match nothing for long stretches, so the emit
+	// guard alone cannot observe cancellation; count condition
+	// evaluations and check every 64Ki of them.
+	evals := 0
 	for _, l := range left {
 		matched := false
 		for _, r := range right {
+			evals++
+			if evals&0xFFFF == 0 {
+				if err := ctx.cancelled(); err != nil {
+					return nil, err
+				}
+			}
 			row := l.Concat(r)
 			if !condTrue(j.Cond, row) {
 				continue

@@ -1,0 +1,145 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestParseFull(t *testing.T) {
+	p, err := Parse("seed=7; crash=2@3; slow=1x2.5; sendfail=0.05; crash=0@9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 {
+		t.Errorf("seed = %d", p.Seed)
+	}
+	if p.Crashes[2] != 3 || p.Crashes[0] != 9 {
+		t.Errorf("crashes = %v", p.Crashes)
+	}
+	if p.Slowdowns[1] != 2.5 {
+		t.Errorf("slowdowns = %v", p.Slowdowns)
+	}
+	if p.SendFailRate != 0.05 {
+		t.Errorf("sendfail = %v", p.SendFailRate)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	p, err := Parse("   ")
+	if err != nil || p != nil {
+		t.Fatalf("empty spec: plan=%v err=%v", p, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"crash=1",             // missing @ordinal
+		"crash=x@1",           // bad site
+		"crash=1@x",           // bad ordinal
+		"crash=1@-2",          // negative ordinal
+		"crash=-1@2",          // negative site
+		"crash=1@1;crash=1@2", // duplicate site
+		"slow=1",              // missing factor
+		"slow=1x0.5",          // factor < 1
+		"slow=ax2",            // bad site
+		"sendfail=1.5",        // rate out of range
+		"sendfail=-0.1",       // negative rate
+		"seed=abc",            // bad seed
+		"bogus=1",             // unknown key
+		"crash",               // not key=value
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q): expected error", spec)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"seed=7;crash=2@3;slow=1x2.5;sendfail=0.05",
+		"seed=1;crash=0@0",
+		"seed=42;sendfail=0.25",
+	}
+	for _, spec := range specs {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		again, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", p.String(), err)
+		}
+		if fmt.Sprint(p) == "" || again.String() != p.String() {
+			t.Errorf("round trip: %q -> %q -> %q", spec, p.String(), again.String())
+		}
+	}
+}
+
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if in != New(nil) {
+		t.Error("New(nil) should be nil")
+	}
+	if _, ok := in.CrashPoint(0); ok {
+		t.Error("nil injector crashes")
+	}
+	if in.Slowdown(3) != 1 {
+		t.Error("nil injector slows")
+	}
+	if in.SendFails(1, 2, 3, 0, 1, 0) {
+		t.Error("nil injector fails sends")
+	}
+}
+
+func TestSendFailsDeterministicAndSeeded(t *testing.T) {
+	a := New(&Plan{Seed: 1, SendFailRate: 0.3})
+	b := New(&Plan{Seed: 2, SendFailRate: 0.3})
+	var fails, diverge int
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		fa := a.SendFails(i, 1, i%4, 0, (i+1)%4, 0)
+		if fa != a.SendFails(i, 1, i%4, 0, (i+1)%4, 0) {
+			t.Fatal("SendFails is not deterministic")
+		}
+		if fa {
+			fails++
+		}
+		if fa != b.SendFails(i, 1, i%4, 0, (i+1)%4, 0) {
+			diverge++
+		}
+	}
+	// The empirical rate should be near 0.3 and seeds must matter.
+	if fails < trials/5 || fails > trials/2 {
+		t.Errorf("failure rate %d/%d far from 0.3", fails, trials)
+	}
+	if diverge == 0 {
+		t.Error("seed has no effect on send failures")
+	}
+}
+
+func TestSendFailsAttemptRedraws(t *testing.T) {
+	in := New(&Plan{Seed: 9, SendFailRate: 0.5})
+	// Across many identities, the attempt number must flip some outcomes:
+	// a retried send is a fresh draw, not a permanently failed link.
+	flipped := false
+	for i := 0; i < 100 && !flipped; i++ {
+		flipped = in.SendFails(i, 0, 0, 0, 0, 0) != in.SendFails(i, 0, 0, 0, 0, 1)
+	}
+	if !flipped {
+		t.Error("attempt number never changes a send outcome")
+	}
+}
+
+func TestInjectedErrors(t *testing.T) {
+	if !Injected(fmt.Errorf("wrap: %w", ErrSiteCrash)) {
+		t.Error("wrapped crash not detected")
+	}
+	if !Injected(ErrSendFail) {
+		t.Error("send failure not detected")
+	}
+	if Injected(errors.New("plain")) {
+		t.Error("plain error detected as injected")
+	}
+}

@@ -37,24 +37,53 @@ type Plan struct {
 // Split implements Algorithm 1: walking the tree depth-first, every
 // Exchange is replaced by a receiver (staying in the current fragment) and
 // a sender (rooting a new fragment over the exchange's child).
+//
+// The optimizer may emit a DAG rather than a tree: a subtree (often a
+// broadcast) shared by two parents. Each Exchange is still split exactly
+// once, and every fragment that reaches it — through the original
+// Exchange node or through an already-substituted Receiver in a shared
+// subtree — records the exchange in its Receivers. Dropping the second
+// consumer's edge would let Waves schedule it alongside its producer.
 func Split(root physical.Node) *Plan {
 	p := &Plan{Producer: make(map[int]*Fragment)}
 	nextExchange := 0
+	split := make(map[*physical.Exchange]*physical.Receiver)
+
+	addReceiver := func(frag *Fragment, id int) {
+		for _, ex := range frag.Receivers {
+			if ex == id {
+				return
+			}
+		}
+		frag.Receivers = append(frag.Receivers, id)
+	}
 
 	var splitTree func(n physical.Node, frag *Fragment) physical.Node
 	splitTree = func(n physical.Node, frag *Fragment) physical.Node {
-		if ex, ok := n.(*physical.Exchange); ok {
+		switch t := n.(type) {
+		case *physical.Receiver:
+			// A shared subtree already split by an earlier walk.
+			addReceiver(frag, t.ExchangeID)
+			return t
+		case *physical.Exchange:
+			if rv, ok := split[t]; ok {
+				// The same Exchange node reached from a second parent.
+				addReceiver(frag, rv.ExchangeID)
+				return rv
+			}
 			id := nextExchange
 			nextExchange++
-			child := ex.Inputs()[0]
-			sender := physical.NewSender(child, id, ex.Target)
+			child := t.Inputs()[0]
+			sender := physical.NewSender(child, id, t.Target)
 			sub := &Fragment{ID: len(p.Fragments), Root: sender, ExchangeID: id}
 			p.Fragments = append(p.Fragments, sub)
 			p.Producer[id] = sub
 			// Recurse inside the new fragment for nested exchanges.
 			sender.SetInputs([]physical.Node{splitTree(child, sub)})
-			frag.Receivers = append(frag.Receivers, id)
-			return physical.NewReceiver(ex, id)
+			addReceiver(frag, id)
+			rv := physical.NewReceiver(t, id)
+			split[t] = rv
+			return rv
 		}
 		ins := n.Inputs()
 		if len(ins) > 0 {

@@ -222,6 +222,100 @@ func TestBuildVariantsAllDuplicatorsRejected(t *testing.T) {
 	}
 }
 
+// TestSplitSharedSubtreeRecordsAllConsumers: the optimizer may emit a DAG
+// where one subtree (here a broadcast join input) feeds two parents that
+// end up in different fragments. Both consuming fragments must record the
+// exchange in Receivers — TPC-H Q11's HAVING subquery produces exactly
+// this shape, and a dropped edge let the second consumer share a wave
+// with its producer and race against in-flight retries.
+func TestSplitSharedSubtreeRecordsAllConsumers(t *testing.T) {
+	b, c := scan("b"), scan("c")
+	exB := physical.NewExchange(b, physical.BroadcastDist)
+	shared := physical.NewJoin(c, exB, physical.HashAlgo, logical.JoinInner,
+		expr.NewBinOp(expr.OpEq,
+			expr.NewColRef(0, types.KindInt, ""),
+			expr.NewColRef(2, types.KindInt, "")),
+		[]expr.EquiKey{{Left: 0, Right: 0}}, physical.HashDist(0), "hash")
+	// The shared join appears under the root directly AND under a second
+	// exchange; the second walk meets the already-substituted receiver.
+	side := physical.NewExchange(shared, physical.SingleDist)
+	root := physical.NewJoin(shared, side, physical.NestedLoop, logical.JoinInner,
+		expr.True, nil, physical.SingleDist, "single")
+
+	plan := Split(root)
+	// Fragment 1 produces exchange 0 (scan b); the root and the side
+	// fragment both contain Receiver #0.
+	bFragID := plan.Producer[0].ID
+	consumers := 0
+	for _, f := range plan.Fragments {
+		for _, ex := range f.Receivers {
+			if ex == 0 {
+				consumers++
+			}
+		}
+	}
+	if consumers != 2 {
+		t.Fatalf("exchange 0 recorded by %d fragments, want 2", consumers)
+	}
+	waves, err := plan.Waves()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waveOf := make(map[int]int)
+	for w, frags := range waves {
+		for _, f := range frags {
+			waveOf[f.ID] = w
+		}
+	}
+	for _, f := range plan.Fragments {
+		for _, ex := range f.Receivers {
+			if waveOf[plan.Producer[ex].ID] >= waveOf[f.ID] {
+				t.Errorf("fragment %d shares a wave with its producer %d",
+					f.ID, plan.Producer[ex].ID)
+			}
+		}
+	}
+	if waveOf[bFragID] != 0 {
+		t.Errorf("scan-b fragment in wave %d, want 0", waveOf[bFragID])
+	}
+}
+
+// TestSplitSharedExchangeNodeSplitOnce: the same Exchange node object
+// reached from two distinct parents splits once — one producer fragment,
+// one exchange ID, both consumers recording the dependency.
+func TestSplitSharedExchangeNodeSplitOnce(t *testing.T) {
+	a, b, c := scan("a"), scan("b"), scan("c")
+	exB := physical.NewExchange(b, physical.BroadcastDist)
+	join1 := physical.NewJoin(a, exB, physical.NestedLoop, logical.JoinInner,
+		expr.True, nil, physical.SingleDist, "single")
+	join2 := physical.NewJoin(c, exB, physical.NestedLoop, logical.JoinInner,
+		expr.True, nil, physical.SingleDist, "single")
+	side := physical.NewExchange(join2, physical.SingleDist)
+	root := physical.NewJoin(join1, side, physical.NestedLoop, logical.JoinInner,
+		expr.True, nil, physical.SingleDist, "single")
+
+	plan := Split(root)
+	// Exchanges: the shared one (split once) + the side one.
+	if len(plan.Producer) != 2 {
+		t.Fatalf("exchanges = %d, want 2 (shared exchange split once)", len(plan.Producer))
+	}
+	sharedID := plan.Producer[0].ExchangeID
+	consumers := 0
+	for _, f := range plan.Fragments {
+		for _, ex := range f.Receivers {
+			if ex == sharedID {
+				consumers++
+			}
+		}
+	}
+	if consumers != 2 {
+		t.Fatalf("shared exchange recorded by %d fragments, want 2", consumers)
+	}
+	if _, err := plan.Waves(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestFormatListsFragments(t *testing.T) {
 	plan := Split(buildJoinPlan())
 	out := plan.Format()

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"gignite"
+	"gignite/internal/faults"
 	"gignite/internal/ssb"
 	"gignite/internal/tpch"
 )
@@ -47,6 +48,10 @@ func ConfigFor(sys System, sites int, sf float64) gignite.Config {
 		panic(fmt.Sprintf("harness: unknown system %q", sys))
 	}
 	cfg.ExecWorkLimit = WorkLimitFor(sf)
+	// The row limit scales with the work limit (one row of join emission
+	// charges ~100 work units), matching the calibration of the baseline
+	// failure matrix.
+	cfg.ExecRowLimit = int64(WorkLimitFor(sf) / 100)
 	return cfg
 }
 
@@ -78,6 +83,15 @@ type Env struct {
 	// Parallelism is passed through to Config.ExecParallelism for every
 	// engine the Env opens (0 = GOMAXPROCS, 1 = sequential).
 	Parallelism int
+	// Backups is the per-partition backup replica count for every engine
+	// the Env opens (Config.Backups).
+	Backups int
+	// Faults is an optional fault-injection plan applied to every query
+	// (Config.Faults); nil injects nothing.
+	Faults *faults.Plan
+	// Timeout is an optional per-query wall-clock deadline
+	// (Config.QueryTimeout); 0 means none.
+	Timeout time.Duration
 
 	mu      sync.Mutex
 	engines map[string]*gignite.Engine
@@ -96,6 +110,9 @@ func (env *Env) Engine(w Workload, sys System, sites int, sf float64) (*gignite.
 	}
 	cfg := ConfigFor(sys, sites, sf)
 	cfg.ExecParallelism = env.Parallelism
+	cfg.Backups = env.Backups
+	cfg.Faults = env.Faults
+	cfg.QueryTimeout = env.Timeout
 	e := gignite.Open(cfg)
 	var err error
 	if w == SSB {

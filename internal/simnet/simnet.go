@@ -75,6 +75,20 @@ type Send struct {
 	Bytes       float64
 }
 
+// Retry is one recovery event: a failed attempt of an instance whose
+// work (and already-shipped bytes) were lost and had to be redone at
+// another replica host. Work and Bytes are zero for a pure failover
+// (the host was already known dead, so nothing was attempted there).
+type Retry struct {
+	Frag    int
+	Site    int
+	Variant int
+	// Host is the physical site the failed attempt ran at.
+	Host  int
+	Work  float64
+	Bytes float64
+}
+
 // Trace is the execution record the clock consumes.
 type Trace struct {
 	// Order lists fragment IDs in dependency order (producers first).
@@ -83,8 +97,13 @@ type Trace struct {
 	Instances map[int][]Instance
 	// Sends is every shipment.
 	Sends []Send
-	// Consumer maps exchange ID → consuming fragment ID.
-	Consumer map[int]int
+	// Retries records recovery events; each charges its lost work and
+	// resent bytes to the recovering instance's elapsed time.
+	Retries []Retry
+	// Consumers maps exchange ID → consuming fragment IDs. An exchange
+	// normally has one consumer, but an optimizer-shared subtree can give
+	// it several; each consumer's start then waits on the arrival.
+	Consumers map[int][]int
 	// RootFrag is the fragment whose finish time is the query time.
 	RootFrag int
 }
@@ -102,16 +121,26 @@ func Makespan(tr *Trace, p Params) time.Duration {
 	}
 	finish := make(map[instKey]float64)
 
+	// A recovery event delays the instance that eventually succeeded: the
+	// failed attempt's work was spent, its shipped bytes must be resent,
+	// and the failover itself costs one instance start.
+	recovery := make(map[instKey]float64)
+	for _, r := range tr.Retries {
+		pen := p.ThreadOverheadSec + r.Work/p.WorkPerSec
+		if r.Bytes > 0 {
+			pen += p.LatencySec + r.Bytes/p.BytesPerSec
+		}
+		recovery[instKey{r.Frag, r.Site, r.Variant}] += pen
+	}
+
 	// Index sends by (consumer fragment, site).
 	type edgeKey struct{ frag, site int }
 	arrivals := make(map[edgeKey][]Send)
 	for _, s := range tr.Sends {
-		cons, ok := tr.Consumer[s.Exchange]
-		if !ok {
-			continue
+		for _, cons := range tr.Consumers[s.Exchange] {
+			k := edgeKey{cons, s.ToSite}
+			arrivals[k] = append(arrivals[k], s)
 		}
-		k := edgeKey{cons, s.ToSite}
-		arrivals[k] = append(arrivals[k], s)
 	}
 
 	var rootFinish float64
@@ -136,6 +165,7 @@ func Makespan(tr *Trace, p Params) time.Duration {
 				contention = float64(t) / float64(p.CoresPerSite)
 			}
 			elapsed := p.ThreadOverheadSec + in.Work/p.WorkPerSec*contention*load
+			elapsed += recovery[instKey{fid, in.Site, in.Variant}]
 			f := ready + elapsed
 			finish[instKey{fid, in.Site, in.Variant}] = f
 			if fid == tr.RootFrag && f > rootFinish {
@@ -147,7 +177,8 @@ func Makespan(tr *Trace, p Params) time.Duration {
 }
 
 // TotalWork sums all instance work (a parallelism-independent effort
-// metric used by ablation reports).
+// metric used by ablation reports), including work lost to failed
+// attempts that were retried.
 func (tr *Trace) TotalWork() float64 {
 	var w float64
 	for _, insts := range tr.Instances {
@@ -155,14 +186,21 @@ func (tr *Trace) TotalWork() float64 {
 			w += in.Work
 		}
 	}
+	for _, r := range tr.Retries {
+		w += r.Work
+	}
 	return w
 }
 
-// TotalBytes sums shipped bytes.
+// TotalBytes sums shipped bytes, including bytes that were discarded on
+// a failed attempt and shipped again by the retry.
 func (tr *Trace) TotalBytes() float64 {
 	var b float64
 	for _, s := range tr.Sends {
 		b += s.Bytes
+	}
+	for _, r := range tr.Retries {
+		b += r.Bytes
 	}
 	return b
 }

@@ -19,7 +19,7 @@ func TestSingleFragmentMakespan(t *testing.T) {
 	tr := &Trace{
 		Order:     []int{0},
 		Instances: map[int][]Instance{0: {{Frag: 0, Site: 0, Work: 1000}}},
-		Consumer:  map[int]int{},
+		Consumers: map[int][]int{},
 		RootFrag:  0,
 	}
 	got := Makespan(tr, params())
@@ -42,8 +42,8 @@ func TestParallelSitesDoNotAdd(t *testing.T) {
 			{Exchange: 0, FromFrag: 1, FromSite: 0, ToSite: 0, Bytes: 1000},
 			{Exchange: 0, FromFrag: 1, FromSite: 1, ToSite: 0, Bytes: 1000},
 		},
-		Consumer: map[int]int{0: 0},
-		RootFrag: 0,
+		Consumers: map[int][]int{0: {0}},
+		RootFrag:  0,
 	}
 	p := params()
 	got := Makespan(tr, p).Seconds()
@@ -63,7 +63,7 @@ func TestVariantsReduceMakespan(t *testing.T) {
 		tr := &Trace{
 			Order:     []int{0},
 			Instances: map[int][]Instance{0: insts},
-			Consumer:  map[int]int{},
+			Consumers: map[int][]int{},
 			RootFrag:  0,
 		}
 		return Makespan(tr, params()).Seconds()
@@ -83,7 +83,7 @@ func TestContentionAboveCores(t *testing.T) {
 	tr := &Trace{
 		Order:     []int{0},
 		Instances: map[int][]Instance{0: insts},
-		Consumer:  map[int]int{},
+		Consumers: map[int][]int{},
 		RootFrag:  0,
 	}
 	got := Makespan(tr, params()).Seconds()
@@ -97,7 +97,7 @@ func TestLoadFactorScalesCPU(t *testing.T) {
 	tr := &Trace{
 		Order:     []int{0},
 		Instances: map[int][]Instance{0: {{Frag: 0, Site: 0, Work: 1000}}},
-		Consumer:  map[int]int{},
+		Consumers: map[int][]int{},
 		RootFrag:  0,
 	}
 	p := params()
@@ -117,9 +117,9 @@ func TestNetworkBytesMatter(t *testing.T) {
 				1: {{Frag: 1, Site: 1, Work: 10}},
 				0: {{Frag: 0, Site: 0, Work: 10}},
 			},
-			Sends:    []Send{{Exchange: 0, FromFrag: 1, FromSite: 1, ToSite: 0, Bytes: bytes}},
-			Consumer: map[int]int{0: 0},
-			RootFrag: 0,
+			Sends:     []Send{{Exchange: 0, FromFrag: 1, FromSite: 1, ToSite: 0, Bytes: bytes}},
+			Consumers: map[int][]int{0: {0}},
+			RootFrag:  0,
 		}
 		return Makespan(tr, params()).Seconds()
 	}
@@ -153,9 +153,59 @@ func TestDefaultParamsSane(t *testing.T) {
 	tr := &Trace{
 		Order:     []int{0},
 		Instances: map[int][]Instance{0: {{Work: 100}}},
-		Consumer:  map[int]int{},
+		Consumers: map[int][]int{},
 	}
 	if Makespan(tr, Params{}) <= 0 {
 		t.Error("zero params produced non-positive makespan")
+	}
+}
+
+// TestRetryChargesRecoveringInstance: a recovery event delays the
+// instance it belongs to (lost work + resend bytes + one instance
+// start) and is included in the effort totals.
+func TestRetryChargesRecoveringInstance(t *testing.T) {
+	base := &Trace{
+		Order:     []int{0},
+		Instances: map[int][]Instance{0: {{Frag: 0, Site: 0, Work: 1000}}},
+		Consumers: map[int][]int{},
+		RootFrag:  0,
+	}
+	p := params()
+	clean := Makespan(base, p)
+
+	withRetry := &Trace{
+		Order:     base.Order,
+		Instances: base.Instances,
+		Retries:   []Retry{{Frag: 0, Site: 0, Variant: 0, Host: 1, Work: 500, Bytes: 2000}},
+		Consumers: base.Consumers,
+		RootFrag:  0,
+	}
+	got := Makespan(withRetry, p)
+	// Penalty: thread start + 500 work + latency + 2000 bytes.
+	penalty := 0.0001 + 500/1000.0 + 0.001 + 2000/1e6
+	want := clean + time.Duration(penalty*float64(time.Second))
+	if diff := (got - want).Seconds(); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("makespan = %v, want %v (clean %v)", got, want, clean)
+	}
+
+	if w := withRetry.TotalWork(); w != 1500 {
+		t.Errorf("TotalWork = %v, want 1500 (retry work included)", w)
+	}
+	if b := withRetry.TotalBytes(); b != 2000 {
+		t.Errorf("TotalBytes = %v, want 2000 (resend bytes included)", b)
+	}
+
+	// A zero-cost failover (host already known dead) adds nothing but the
+	// instance start.
+	pure := &Trace{
+		Order:     base.Order,
+		Instances: base.Instances,
+		Retries:   []Retry{{Frag: 0, Site: 0, Variant: 0, Host: 1}},
+		Consumers: base.Consumers,
+		RootFrag:  0,
+	}
+	want = clean + time.Duration(0.0001*float64(time.Second))
+	if got := Makespan(pure, p); got != want {
+		t.Errorf("pure failover makespan = %v, want %v", got, want)
 	}
 }

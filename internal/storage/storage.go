@@ -32,23 +32,68 @@ func PartitionOf(v types.Value, n int) int {
 // A Store is safe for concurrent use: reads (Partition, IndexScan,
 // RowCount) share an RWMutex read lock, so concurrent SELECT clients
 // proceed in parallel while loads and index builds take the write lock.
+//
+// With backups > 0 every hash partition has an ordered replica chain
+// (owner site first, then the backup sites), mirroring Ignite's backup
+// partitions. Partition content is stored once per partition; the chain
+// determines which sites may serve reads of that partition, so a scan
+// whose owner site died can fail over to any surviving replica and read
+// identical rows.
 type Store struct {
-	mu     sync.RWMutex
-	sites  int
-	cat    *catalog.Catalog
-	tables map[string]*TableData
+	mu      sync.RWMutex
+	sites   int
+	backups int
+	cat     *catalog.Catalog
+	tables  map[string]*TableData
 }
 
-// NewStore creates storage for a cluster of the given size.
+// NewStore creates storage for a cluster of the given size with no backup
+// partitions (a single copy of every partition).
 func NewStore(cat *catalog.Catalog, sites int) *Store {
+	return NewReplicatedStore(cat, sites, 0)
+}
+
+// NewReplicatedStore creates storage keeping `backups` extra copies of
+// every hash partition. The count is capped at sites-1 (there is no point
+// replicating a partition onto a site twice).
+func NewReplicatedStore(cat *catalog.Catalog, sites, backups int) *Store {
 	if sites < 1 {
 		sites = 1
 	}
-	return &Store{sites: sites, cat: cat, tables: make(map[string]*TableData)}
+	if backups < 0 {
+		backups = 0
+	}
+	if backups > sites-1 {
+		backups = sites - 1
+	}
+	return &Store{sites: sites, backups: backups, cat: cat, tables: make(map[string]*TableData)}
 }
 
 // Sites returns the cluster size.
 func (s *Store) Sites() int { return s.sites }
+
+// Backups returns the configured backup count per hash partition.
+func (s *Store) Backups() int { return s.backups }
+
+// ReplicaSites returns the ordered replica chain of a hash partition: the
+// owner site first, then the backup sites in failover order.
+func (s *Store) ReplicaSites(partition int) []int {
+	out := make([]int, 0, s.backups+1)
+	for k := 0; k <= s.backups; k++ {
+		out = append(out, (partition+k)%s.sites)
+	}
+	return out
+}
+
+// HoldsReplica reports whether a site holds a copy of a hash partition.
+func (s *Store) HoldsReplica(partition, site int) bool {
+	for k := 0; k <= s.backups; k++ {
+		if (partition+k)%s.sites == site {
+			return true
+		}
+	}
+	return false
+}
 
 // Catalog returns the catalog backing this store.
 func (s *Store) Catalog() *catalog.Catalog { return s.cat }
@@ -182,22 +227,47 @@ func (td *TableData) partitionLocked(site int) []types.Row {
 // Partition returns the rows visible at a site. For replicated tables this
 // is the full table regardless of site.
 func (s *Store) Partition(name string, site int) ([]types.Row, error) {
+	return s.PartitionAt(name, site, site)
+}
+
+// PartitionAt returns one hash partition's rows as read by a host site,
+// validating that the host actually holds a replica of that partition
+// (the owner or one of its backups). Replicated tables are present at
+// every site, so any host qualifies. This is the failover read path: a
+// retried fragment instance keeps its logical partition but executes at a
+// backup host.
+func (s *Store) PartitionAt(name string, partition, host int) ([]types.Row, error) {
 	td, err := s.Table(name)
 	if err != nil {
 		return nil, err
 	}
-	if site < 0 || site >= s.sites {
-		return nil, fmt.Errorf("storage: site %d out of range [0,%d)", site, s.sites)
+	if partition < 0 || partition >= s.sites {
+		return nil, fmt.Errorf("storage: site %d out of range [0,%d)", partition, s.sites)
+	}
+	if host < 0 || host >= s.sites {
+		return nil, fmt.Errorf("storage: host site %d out of range [0,%d)", host, s.sites)
+	}
+	if !td.Def.Replicated && !s.HoldsReplica(partition, host) {
+		return nil, fmt.Errorf("storage: site %d holds no replica of partition %d (%s, backups=%d)",
+			host, partition, td.Def.Name, s.backups)
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return td.partitionLocked(site), nil
+	return td.partitionLocked(partition), nil
 }
 
 // IndexScan returns the rows at a site in index order. If lo/hi are
 // non-nil they bound the leading key column (inclusive): rows with leading
 // key < lo or > hi are excluded via binary search.
 func (s *Store) IndexScan(name, index string, site int, lo, hi *types.Value) ([]types.Row, error) {
+	return s.IndexScanAt(name, index, site, site, lo, hi)
+}
+
+// IndexScanAt is IndexScan reading one logical partition from a host site
+// that holds a replica of it (see PartitionAt). Indexes are per-partition
+// permutations, so a backup host scans the same index in the same order
+// the owner would have.
+func (s *Store) IndexScanAt(name, index string, partition, host int, lo, hi *types.Value) ([]types.Row, error) {
 	td, err := s.Table(name)
 	if err != nil {
 		return nil, err
@@ -209,8 +279,16 @@ func (s *Store) IndexScan(name, index string, site int, lo, hi *types.Value) ([]
 	if !ok {
 		return nil, fmt.Errorf("storage: index %s on %s not built", index, name)
 	}
+	site := partition
 	if site < 0 || site >= s.sites {
 		return nil, fmt.Errorf("storage: site %d out of range [0,%d)", site, s.sites)
+	}
+	if host < 0 || host >= s.sites {
+		return nil, fmt.Errorf("storage: host site %d out of range [0,%d)", host, s.sites)
+	}
+	if !td.Def.Replicated && !s.HoldsReplica(partition, host) {
+		return nil, fmt.Errorf("storage: site %d holds no replica of partition %d (%s, backups=%d)",
+			host, partition, td.Def.Name, s.backups)
 	}
 	rowsAt := td.partitionLocked(site)
 	p := perm[site]

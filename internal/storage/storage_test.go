@@ -274,3 +274,104 @@ func TestPartitionOfSingleSite(t *testing.T) {
 		t.Error("zero-site partition != 0")
 	}
 }
+
+// newReplicatedTestStore mirrors newTestStore with backup partitions.
+func newReplicatedTestStore(t *testing.T, sites, backups int) *Store {
+	t.Helper()
+	s := newTestStore(t, sites)
+	return NewReplicatedStore(s.cat, sites, backups)
+}
+
+func TestReplicaChains(t *testing.T) {
+	s := newReplicatedTestStore(t, 4, 1)
+	if s.Backups() != 1 {
+		t.Fatalf("backups = %d", s.Backups())
+	}
+	for p := 0; p < 4; p++ {
+		chain := s.ReplicaSites(p)
+		want := []int{p, (p + 1) % 4}
+		if len(chain) != 2 || chain[0] != want[0] || chain[1] != want[1] {
+			t.Errorf("partition %d chain = %v, want %v", p, chain, want)
+		}
+		for site := 0; site < 4; site++ {
+			holds := site == want[0] || site == want[1]
+			if s.HoldsReplica(p, site) != holds {
+				t.Errorf("HoldsReplica(%d, %d) = %v", p, site, !holds)
+			}
+		}
+	}
+	// Backups are capped at sites-1.
+	if got := NewReplicatedStore(catalog.New(), 3, 99).Backups(); got != 2 {
+		t.Errorf("capped backups = %d, want 2", got)
+	}
+}
+
+func TestPartitionAtReadsFromBackup(t *testing.T) {
+	s := newReplicatedTestStore(t, 4, 1)
+	if err := s.Load("emp", empRows(100)); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		owner, err := s.PartitionAt("emp", p, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backup, err := s.PartitionAt("emp", p, (p+1)%4)
+		if err != nil {
+			t.Fatalf("backup read of partition %d: %v", p, err)
+		}
+		if len(owner) != len(backup) {
+			t.Fatalf("partition %d: owner %d rows, backup %d rows", p, len(owner), len(backup))
+		}
+		for i := range owner {
+			if owner[i].String() != backup[i].String() {
+				t.Fatalf("partition %d row %d differs across replicas", p, i)
+			}
+		}
+		// A site outside the chain must refuse the read.
+		if _, err := s.PartitionAt("emp", p, (p+2)%4); err == nil {
+			t.Errorf("partition %d readable from non-replica site", p)
+		}
+	}
+	// Replicated tables are readable from any host.
+	if err := s.Load("region", []types.Row{{types.NewInt(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	for host := 0; host < 4; host++ {
+		rows, err := s.PartitionAt("region", 0, host)
+		if err != nil || len(rows) != 1 {
+			t.Errorf("replicated read at host %d: rows=%d err=%v", host, len(rows), err)
+		}
+	}
+}
+
+func TestIndexScanAtFromBackup(t *testing.T) {
+	s := newReplicatedTestStore(t, 4, 1)
+	if err := s.Load("emp", empRows(80)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BuildIndexes("emp"); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		owner, err := s.IndexScanAt("emp", "emp_pk", p, p, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backup, err := s.IndexScanAt("emp", "emp_pk", p, (p+1)%4, nil, nil)
+		if err != nil {
+			t.Fatalf("backup index scan of partition %d: %v", p, err)
+		}
+		if len(owner) != len(backup) {
+			t.Fatalf("partition %d: index rows differ: %d vs %d", p, len(owner), len(backup))
+		}
+		for i := range owner {
+			if owner[i].String() != backup[i].String() {
+				t.Fatalf("partition %d index row %d differs across replicas", p, i)
+			}
+		}
+		if _, err := s.IndexScanAt("emp", "emp_pk", p, (p+2)%4, nil, nil); err == nil {
+			t.Errorf("partition %d index readable from non-replica site", p)
+		}
+	}
+}
