@@ -3,9 +3,18 @@
 //
 // Usage:
 //
-//	benchrunner -exp fig7|fig8|fig9|fig10|fig11|table3|failures|ablate|all
+//	benchrunner -exp fig7|fig8|fig9|fig10|fig11|table3|failures|ablate|obs|all
 //	            [-sf 0.005,0.01] [-sites 4,8] [-par 0]
 //	            [-backups 0] [-faults SPEC] [-timeout 0]
+//	            [-system ic+m] [-queries 1,3] [-metrics FILE] [-trace FILE]
+//
+// The obs experiment runs the selected TPC-H queries once on one system
+// and emits observability artifacts: -metrics writes the per-query and
+// cumulative metrics JSON (schema harness.MetricsSchema), -trace writes
+// the distributed traces as a Chrome trace_event file (load it in
+// Perfetto or chrome://tracing). benchrunner exits non-zero when the
+// estimate-vs-actual operator report comes back empty — the CI
+// observability smoke job relies on that.
 //
 // Response times are deterministic modeled times from the simnet cost
 // clock (see DESIGN.md), so runs are reproducible across hosts — and
@@ -21,6 +30,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +39,7 @@ import (
 
 	"gignite"
 	"gignite/internal/harness"
+	"gignite/internal/obs"
 )
 
 func main() {
@@ -39,6 +50,10 @@ func main() {
 	backups := flag.Int("backups", 0, "backup replicas per partition (0 = no redundancy)")
 	faultSpec := flag.String("faults", "", `fault plan, e.g. "seed=7;crash=2@4;slow=1x2;sendfail=0.05"`)
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock deadline (0 = none)")
+	system := flag.String("system", "ic+m", "obs experiment: system variant (ic, ic+, ic+m)")
+	queries := flag.String("queries", "", "obs experiment: comma-separated TPC-H query ids (empty = paper set)")
+	metricsOut := flag.String("metrics", "", "obs experiment: write the metrics JSON to this file")
+	traceOut := flag.String("trace", "", "obs experiment: write Chrome trace_event JSON to this file")
 	flag.Parse()
 
 	plan, err := gignite.ParseFaults(*faultSpec)
@@ -64,6 +79,11 @@ func main() {
 			fatalf("bad -sites value %q: %v", s, err)
 		}
 		opts.Sites = append(opts.Sites, v)
+	}
+
+	if *exp == "obs" {
+		runObs(opts, *system, *queries, *metricsOut, *traceOut)
+		return
 	}
 
 	type experiment struct {
@@ -95,6 +115,72 @@ func main() {
 	}
 	if !ran {
 		fatalf("unknown experiment %q", *exp)
+	}
+}
+
+// runObs executes the observability experiment: run the selected TPC-H
+// queries on one system, print the estimate-vs-actual report, and write
+// the -metrics / -trace artifacts.
+func runObs(opts harness.Options, system, queryList, metricsOut, traceOut string) {
+	var sys harness.System
+	switch strings.ToLower(system) {
+	case "ic":
+		sys = harness.IC
+	case "ic+", "icplus":
+		sys = harness.ICPlus
+	case "ic+m", "icplusm":
+		sys = harness.ICPM
+	default:
+		fatalf("unknown system %q", system)
+	}
+	var ids []int
+	if queryList != "" {
+		for _, s := range strings.Split(queryList, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatalf("bad -queries value %q: %v", s, err)
+			}
+			ids = append(ids, id)
+		}
+	}
+	sf := opts.SFs[0]
+	sites := opts.Sites[0]
+	mf, traces, err := harness.CollectMetrics(opts.Env, sys, sites, sf, ids)
+	if err != nil {
+		fatalf("obs: %v", err)
+	}
+	ops := 0
+	for _, q := range mf.Queries {
+		fmt.Printf("%s: modeled=%.4fs rows=%d instances=%d retries=%d spans=%d digest=%s\n",
+			q.Label, q.ModeledSecs, q.Rows, q.Instances, q.Retries, q.Spans, q.PlanDigest)
+		for _, op := range q.Operators {
+			fmt.Printf("  frag%d %-40s est=%-10.0f act=%-10d qerr=%.1fx\n",
+				op.Frag, op.Op, op.EstRows, op.ActRows, op.QError)
+			ops++
+		}
+	}
+	if metricsOut != "" {
+		data, err := json.MarshalIndent(mf, "", "  ")
+		if err != nil {
+			fatalf("obs: marshal metrics: %v", err)
+		}
+		if err := os.WriteFile(metricsOut, data, 0o644); err != nil {
+			fatalf("obs: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "benchrunner: wrote metrics to %s\n", metricsOut)
+	}
+	if traceOut != "" {
+		data, err := obs.ChromeTrace(traces)
+		if err != nil {
+			fatalf("obs: render trace: %v", err)
+		}
+		if err := os.WriteFile(traceOut, data, 0o644); err != nil {
+			fatalf("obs: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "benchrunner: wrote trace to %s\n", traceOut)
+	}
+	if ops == 0 {
+		fatalf("obs: estimate-vs-actual report is empty")
 	}
 }
 

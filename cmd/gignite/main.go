@@ -5,9 +5,12 @@
 // Usage:
 //
 //	gignite [-system ic|ic+|ic+m] [-sites 4] [-load tpch|ssb] [-sf 0.01]
+//	        [-slowquery 100ms]
 //
 // Then type SQL statements terminated by semicolons;
-// \q quits, \t toggles timing output.
+// \q quits, \t toggles timing output, \m prints the engine metrics
+// snapshot. EXPLAIN ANALYZE <select> prints the executed plan annotated
+// with estimated vs. actual row counts.
 package main
 
 import (
@@ -28,6 +31,7 @@ func main() {
 	sites := flag.Int("sites", 4, "simulated processing sites")
 	load := flag.String("load", "", "preload a benchmark: tpch or ssb")
 	sf := flag.Float64("sf", 0.01, "benchmark scale factor")
+	slow := flag.Duration("slowquery", 0, "log queries whose modeled time reaches this threshold (0 disables)")
 	flag.Parse()
 
 	var cfg gignite.Config
@@ -43,6 +47,12 @@ func main() {
 		os.Exit(1)
 	}
 	cfg.ExecWorkLimit = harness.WorkLimitFor(*sf)
+	if *slow > 0 {
+		cfg.SlowQueryThreshold = *slow
+		cfg.Logger = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
 	e := gignite.Open(cfg)
 
 	switch strings.ToLower(*load) {
@@ -64,7 +74,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Fprintf(os.Stderr, "gignite %s shell on %d sites; \\q quits, \\t toggles timing\n",
+	fmt.Fprintf(os.Stderr, "gignite %s shell on %d sites; \\q quits, \\t toggles timing, \\m prints metrics\n",
 		strings.ToUpper(*system), *sites)
 	timing := true
 	scanner := bufio.NewScanner(os.Stdin)
@@ -81,6 +91,10 @@ func main() {
 		case `\t`:
 			timing = !timing
 			fmt.Fprintf(os.Stderr, "timing %v\n", timing)
+			prompt()
+			continue
+		case `\m`:
+			fmt.Print(e.Metrics().Text())
 			prompt()
 			continue
 		}
@@ -123,9 +137,9 @@ func runStatement(e *gignite.Engine, stmt string, timing bool) {
 	} else {
 		fmt.Println("ok")
 	}
-	if timing && res.Modeled > 0 {
-		fmt.Printf("modeled time: %v  (work=%.0f, shipped=%.0f bytes, %d fragments, %d instances)\n",
-			res.Modeled, res.Stats.Work, res.Stats.BytesShipped,
-			res.Stats.Fragments, res.Stats.Instances)
+	if timing && res.Stats.Modeled > 0 {
+		fmt.Printf("modeled time: %v  (work=%.0f, shipped=%.0f bytes, %d fragments, %d instances, %d spans)\n",
+			res.Stats.Modeled, res.Stats.Work, res.Stats.BytesShipped,
+			res.Stats.Fragments, res.Stats.Instances, res.Stats.Spans)
 	}
 }

@@ -21,8 +21,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gignite/internal/binder"
@@ -33,6 +35,7 @@ import (
 	"gignite/internal/fragment"
 	"gignite/internal/hep"
 	"gignite/internal/logical"
+	"gignite/internal/obs"
 	"gignite/internal/physical"
 	"gignite/internal/ref"
 	"gignite/internal/rules"
@@ -151,7 +154,20 @@ type Config struct {
 	ExperimentalViews bool
 	// Sim is the modeled hardware profile for the cost clock.
 	Sim simnet.Params
+
+	// --- observability ---
+
+	// SlowQueryThreshold, when positive, logs every query whose modeled
+	// response time reaches it: query text, plan digest and the top-3
+	// operators by modeled time go through Logger. Zero disables the log.
+	SlowQueryThreshold time.Duration
+	// Logger receives engine log lines (the slow-query log). nil is a
+	// no-op logger.
+	Logger LogFunc
 }
+
+// LogFunc is the pluggable logging hook (Printf-shaped).
+type LogFunc func(format string, args ...interface{})
 
 // DefaultExecWorkLimit corresponds to the paper's four-hour limit on the
 // modeled testbed profile.
@@ -201,6 +217,20 @@ type Engine struct {
 	cluster *cluster.Cluster
 	mu      sync.RWMutex
 	views   map[string]*sql.SelectStmt
+
+	metrics *obs.Registry
+	em      engineMetrics
+	queryID atomic.Uint64
+}
+
+// engineMetrics caches the registry handles the per-query hot path
+// touches, so queries never pay a registry lookup.
+type engineMetrics struct {
+	queries, failed, slow       *obs.Counter
+	rows, work, bytes           *obs.Counter
+	instances, retries, spans   *obs.Counter
+	inflight                    *obs.Gauge
+	modeledSeconds, wallSeconds *obs.Histogram
 }
 
 // Open creates an engine with empty storage.
@@ -219,14 +249,35 @@ func Open(cfg Config) *Engine {
 		cl.RowLimit = cfg.ExecRowLimit
 	}
 	cl.Faults = faults.New(cfg.Faults)
+	reg := obs.NewRegistry()
 	return &Engine{
 		cfg:     cfg,
 		catalog: cat,
 		store:   store,
 		cluster: cl,
 		views:   make(map[string]*sql.SelectStmt),
+		metrics: reg,
+		em: engineMetrics{
+			queries:        reg.Counter("queries_total"),
+			failed:         reg.Counter("queries_failed_total"),
+			slow:           reg.Counter("queries_slow_total"),
+			rows:           reg.Counter("rows_returned_total"),
+			work:           reg.Counter("exec_work_units_total"),
+			bytes:          reg.Counter("bytes_shipped_total"),
+			instances:      reg.Counter("fragment_instances_total"),
+			retries:        reg.Counter("retries_total"),
+			spans:          reg.Counter("trace_spans_total"),
+			inflight:       reg.Gauge("queries_inflight"),
+			modeledSeconds: reg.Histogram("query_modeled_seconds", obs.DefaultTimeBuckets()),
+			wallSeconds:    reg.Histogram("query_wall_seconds", obs.DefaultTimeBuckets()),
+		},
 	}
 }
+
+// Metrics snapshots the engine's cumulative metrics (counts, totals and
+// latency histograms across every query executed so far); per-query views
+// live on Result.Obs.
+func (e *Engine) Metrics() obs.Snapshot { return e.metrics.Snapshot() }
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
@@ -249,10 +300,14 @@ type Result struct {
 	// Modeled is the cost-clock response time on the modeled testbed
 	// (zero for DDL/DML).
 	Modeled time.Duration
-	// PlanText is filled by EXPLAIN.
+	// PlanText is filled by EXPLAIN and EXPLAIN ANALYZE.
 	PlanText string
 	// Stats carries execution telemetry.
 	Stats ExecStats
+	// Obs is the query's full observation record: per-operator runtime
+	// statistics and the distributed trace (one span per fragment-instance
+	// attempt). nil for DDL/DML and plain EXPLAIN.
+	Obs *obs.QueryObs
 }
 
 // ExecStats is per-query execution telemetry.
@@ -269,6 +324,12 @@ type ExecStats struct {
 	// Retries counts fault-recovery events (failed attempts retried or
 	// failed over onto a replica site).
 	Retries int
+	// Spans counts trace spans (fragment-instance attempts, including
+	// retried and skipped ones).
+	Spans int
+	// Modeled is the simnet cost-clock response time (the same value as
+	// Result.Modeled, surfaced with the rest of the telemetry).
+	Modeled time.Duration
 	// PlanTickets is the planner search effort.
 	PlanTickets int
 }
@@ -352,9 +413,12 @@ func (e *Engine) ExecContext(ctx context.Context, query string) (*Result, error)
 		}
 		return &Result{}, nil
 	case *sql.ExplainStmt:
+		if s.Analyze {
+			return e.explainAnalyze(ctx, s.Query, query)
+		}
 		return e.explain(s.Query)
 	case *sql.SelectStmt:
-		return e.query(ctx, s)
+		return e.query(ctx, s, query)
 	default:
 		return nil, fmt.Errorf("gignite: unsupported statement %T", stmt)
 	}
@@ -371,7 +435,7 @@ func (e *Engine) QueryContext(ctx context.Context, query string) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	return e.query(ctx, sel)
+	return e.query(ctx, sel, query)
 }
 
 // Explain returns the fragmented physical plan for a SELECT.
@@ -451,7 +515,15 @@ func (e *Engine) plan(sel *sql.SelectStmt) (physical.Node, *volcano.Planner, err
 	return pp, vp, nil
 }
 
-func (e *Engine) query(ctx context.Context, sel *sql.SelectStmt) (*Result, error) {
+func (e *Engine) query(ctx context.Context, sel *sql.SelectStmt, src string) (*Result, error) {
+	res, _, err := e.run(ctx, sel, src)
+	return res, err
+}
+
+// run is the shared SELECT execution path behind query and explainAnalyze:
+// plan, fragment, execute, then attach the observation record and update
+// the engine's cumulative metrics (including the slow-query log).
+func (e *Engine) run(ctx context.Context, sel *sql.SelectStmt, src string) (*Result, *fragment.Plan, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -462,9 +534,13 @@ func (e *Engine) query(ctx context.Context, sel *sql.SelectStmt) (*Result, error
 			defer cancel()
 		}
 	}
+	e.em.queries.Inc()
+	e.em.inflight.Add(1)
+	defer e.em.inflight.Add(-1)
 	pp, vp, err := e.plan(sel)
 	if err != nil {
-		return nil, err
+		e.em.failed.Inc()
+		return nil, nil, err
 	}
 	fp := fragment.Split(pp)
 	variants := e.cfg.VariantFragments
@@ -477,15 +553,23 @@ func (e *Engine) query(ctx context.Context, sel *sql.SelectStmt) (*Result, error
 	}
 	res, err := e.cluster.ExecuteLimited(ctx, fp, variants, limit)
 	if err != nil {
+		e.em.failed.Inc()
 		if errors.Is(err, cluster.ErrWorkLimit) {
-			return nil, fmt.Errorf("%w: %v", ErrQueryTimeout, err)
+			return nil, nil, fmt.Errorf("%w: %v", ErrQueryTimeout, err)
 		}
-		return nil, err
+		return nil, nil, err
 	}
-	return &Result{
+	qobs := res.Obs
+	if qobs != nil {
+		qobs.QueryID = e.queryID.Add(1)
+		qobs.SQL = src
+		qobs.PlanDigest = planDigest(fp)
+	}
+	out := &Result{
 		Columns: res.Fields.Names(),
 		Rows:    res.Rows,
 		Modeled: res.Modeled,
+		Obs:     qobs,
 		Stats: ExecStats{
 			Work:         res.Work,
 			BytesShipped: res.BytesShipped,
@@ -493,9 +577,133 @@ func (e *Engine) query(ctx context.Context, sel *sql.SelectStmt) (*Result, error
 			Instances:    res.Instances,
 			Workers:      res.Workers,
 			Retries:      res.Retries,
+			Modeled:      res.Modeled,
 			PlanTickets:  vp.TicketsUsed,
 		},
-	}, nil
+	}
+	if qobs != nil {
+		out.Stats.Spans = len(qobs.Spans)
+	}
+	e.recordQuery(out, qobs, src)
+	return out, fp, nil
+}
+
+// recordQuery folds one successful query into the cumulative metrics and
+// emits the slow-query log line when the modeled time crosses the
+// threshold.
+func (e *Engine) recordQuery(res *Result, qobs *obs.QueryObs, src string) {
+	e.em.rows.Add(float64(len(res.Rows)))
+	e.em.work.Add(res.Stats.Work)
+	e.em.bytes.Add(res.Stats.BytesShipped)
+	e.em.instances.Add(float64(res.Stats.Instances))
+	e.em.retries.Add(float64(res.Stats.Retries))
+	e.em.spans.Add(float64(res.Stats.Spans))
+	e.em.modeledSeconds.Observe(res.Modeled.Seconds())
+	if qobs != nil {
+		e.em.wallSeconds.Observe(time.Duration(qobs.WallNanos).Seconds())
+	}
+	thr := e.cfg.SlowQueryThreshold
+	if thr <= 0 || res.Modeled < thr || qobs == nil {
+		return
+	}
+	e.em.slow.Inc()
+	logf := e.cfg.Logger
+	if logf == nil {
+		return
+	}
+	var tops strings.Builder
+	for i, t := range qobs.TopOperators(3) {
+		if i > 0 {
+			tops.WriteString(", ")
+		}
+		fmt.Fprintf(&tops, "frag%d %s work=%.0f", t.Frag, t.Op, t.Work)
+	}
+	logf("slow query: modeled=%v threshold=%v digest=%s top=[%s] sql=%q",
+		res.Modeled, thr, qobs.PlanDigest, tops.String(), src)
+}
+
+// planDigest is a stable FNV-64a hash of the fragmented plan text,
+// identifying the plan shape across runs of the same query.
+func planDigest(fp *fragment.Plan) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(fp.Format()))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// explainAnalyze executes the query and renders the physical plan
+// annotated with estimated vs. actual per-operator row counts. The result
+// rows themselves are dropped: EXPLAIN ANALYZE returns the report.
+func (e *Engine) explainAnalyze(ctx context.Context, sel *sql.SelectStmt, src string) (*Result, error) {
+	res, fp, err := e.run(ctx, sel, src)
+	if err != nil {
+		return nil, err
+	}
+	res.PlanText = formatAnalyzed(fp, res.Obs, &res.Stats)
+	res.Columns = nil
+	res.Rows = nil
+	return res, nil
+}
+
+// formatAnalyzed renders the EXPLAIN ANALYZE report: the fragmented plan
+// with one "[est=... act=... err=...]" annotation per operator, followed
+// by a query-level summary.
+func formatAnalyzed(fp *fragment.Plan, q *obs.QueryObs, st *ExecStats) string {
+	var sb strings.Builder
+	for _, f := range fp.Fragments {
+		role := "fragment"
+		if f.IsRoot {
+			role = "root fragment"
+		}
+		var fo *obs.FragmentObs
+		if q != nil && f.ID < len(q.Fragments) {
+			fo = q.Fragments[f.ID]
+		}
+		inst := 0
+		if fo != nil {
+			inst = fo.Instances
+		}
+		fmt.Fprintf(&sb, "--- %s %d (instances=%d) ---\n", role, f.ID, inst)
+		formatAnalyzedNode(&sb, f.Root, fo, 0)
+	}
+	if q != nil {
+		fmt.Fprintf(&sb, "modeled=%v wall=%v work=%.0f bytes=%.0f instances=%d retries=%d spans=%d\n",
+			time.Duration(q.ModeledNanos), time.Duration(q.WallNanos),
+			st.Work, st.BytesShipped, st.Instances, st.Retries, st.Spans)
+	}
+	return sb.String()
+}
+
+func formatAnalyzedNode(sb *strings.Builder, n physical.Node, fo *obs.FragmentObs, depth int) {
+	fmt.Fprintf(sb, "%s%s", strings.Repeat("  ", depth), n.Describe())
+	if fo != nil {
+		if i, ok := fo.OpIndex[n]; ok {
+			op := fo.Ops[i]
+			fmt.Fprintf(sb, "  [est=%.0f act=%d err=%.1fx work=%.0f wall=%v",
+				op.EstRows, op.RowsOut, qerror(op.EstRows, float64(op.RowsOut)),
+				op.Work, time.Duration(op.WallNanos))
+			if op.BuildRows > 0 {
+				fmt.Fprintf(sb, " build=%d", op.BuildRows)
+			}
+			if op.Batches > 0 {
+				fmt.Fprintf(sb, " batches=%d", op.Batches)
+			}
+			sb.WriteString("]")
+		}
+	}
+	sb.WriteByte('\n')
+	for _, in := range n.Inputs() {
+		formatAnalyzedNode(sb, in, fo, depth+1)
+	}
+}
+
+// qerror is the symmetric q-error of an estimate, smoothed by +1 on both
+// sides so empty results do not divide by zero.
+func qerror(est, act float64) float64 {
+	a, b := (est+1)/(act+1), (act+1)/(est+1)
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func (e *Engine) explain(sel *sql.SelectStmt) (*Result, error) {

@@ -38,6 +38,7 @@ import (
 	"gignite/internal/exec"
 	"gignite/internal/faults"
 	"gignite/internal/fragment"
+	"gignite/internal/obs"
 	"gignite/internal/physical"
 	"gignite/internal/simnet"
 	"gignite/internal/storage"
@@ -102,6 +103,10 @@ type Result struct {
 	Retries int
 	// Workers is the host worker-pool size the execution ran with.
 	Workers int
+	// Obs is the query's observation record: per-operator runtime
+	// statistics per fragment, and one trace span per fragment-instance
+	// attempt, in deterministic job order.
+	Obs *obs.QueryObs
 }
 
 // ErrWorkLimit re-exports the executor's work-limit error for callers.
@@ -127,9 +132,15 @@ type instanceJob struct {
 	// (assigned in wave order before execution); fault plans address
 	// instances by it.
 	ordinal int
+	// wave is the scheduler wave the instance belongs to (trace spans
+	// carry it).
+	wave int
 	// partitioned marks hash-content fragments, which may fail over
 	// across their partition's replica chain.
 	partitioned bool
+	// fobs is the fragment's observation view; instances record into a
+	// private obs.InstanceObs sized from it.
+	fobs *obs.FragmentObs
 }
 
 // instanceResult is the per-instance outcome a worker hands back to the
@@ -140,7 +151,13 @@ type instanceResult struct {
 	work    float64
 	host    int
 	retries []simnet.Retry
-	err     error
+	// spans records one trace span per attempt of this instance
+	// (including zero-cost dead-host skips).
+	spans []obs.Span
+	// obs is the successful attempt's per-operator record (nil when the
+	// instance failed terminally).
+	obs *obs.InstanceObs
+	err error
 }
 
 // siteState is a site's condition from the perspective of one instance
@@ -163,6 +180,7 @@ func (c *Cluster) ExecuteLimited(ctx context.Context, plan *fragment.Plan, varia
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	began := time.Now()
 	waves, err := plan.Waves()
 	if err != nil {
 		return nil, err
@@ -184,13 +202,24 @@ func (c *Cluster) ExecuteLimited(ctx context.Context, plan *fragment.Plan, varia
 		Instances: make(map[int][]simnet.Instance),
 		Consumers: make(map[int][]int),
 	}
+	// The observation record: per-fragment operator views (pre-order op
+	// ids shared by every instance of a fragment) and the exchange edges
+	// of the fragment DAG.
+	qobs := &obs.QueryObs{
+		Began:     began,
+		Fragments: make([]*obs.FragmentObs, len(plan.Fragments)),
+	}
 	for _, f := range plan.Fragments {
 		for _, ex := range f.Receivers {
 			trace.Consumers[ex] = append(trace.Consumers[ex], f.ID)
+			if prod := plan.Producer[ex]; prod != nil {
+				qobs.Edges = append(qobs.Edges, obs.Edge{Exchange: ex, FromFrag: prod.ID, ToFrag: f.ID})
+			}
 		}
 		if f.IsRoot {
 			trace.RootFrag = f.ID
 		}
+		qobs.Fragments[f.ID] = obs.NewFragmentObs(f.ID, f.IsRoot, f.Root)
 	}
 
 	// Build every wave's jobs up front, assigning deterministic instance
@@ -214,7 +243,8 @@ func (c *Cluster) ExecuteLimited(ctx context.Context, plan *fragment.Plan, varia
 				for v := 0; v < n; v++ {
 					waveJobs[w] = append(waveJobs[w], instanceJob{
 						frag: f, site: site, variant: v, nVariants: n, modes: modes,
-						ordinal: ordinal, partitioned: partitioned,
+						ordinal: ordinal, wave: w, partitioned: partitioned,
+						fobs: qobs.Fragments[f.ID],
 					})
 					ordinal++
 				}
@@ -249,7 +279,7 @@ func (c *Cluster) ExecuteLimited(ctx context.Context, plan *fragment.Plan, varia
 			continue
 		}
 		results := make([]instanceResult, len(jobs))
-		c.runWave(ctx, jobs, results, transport, workers, workLimit, dying)
+		c.runWave(ctx, jobs, results, transport, workers, workLimit, dying, began)
 
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -266,6 +296,7 @@ func (c *Cluster) ExecuteLimited(ctx context.Context, plan *fragment.Plan, varia
 		)
 		for i := range jobs {
 			j, r := jobs[i], &results[i]
+			qobs.Spans = append(qobs.Spans, r.spans...)
 			if r.err != nil {
 				if seen == nil {
 					seen = make(map[string]bool)
@@ -282,6 +313,9 @@ func (c *Cluster) ExecuteLimited(ctx context.Context, plan *fragment.Plan, varia
 			trace.Instances[j.frag.ID] = append(trace.Instances[j.frag.ID], simnet.Instance{
 				Frag: j.frag.ID, Site: j.site, Variant: j.variant, Work: r.work,
 			})
+			if r.obs != nil {
+				j.fobs.Merge(r.obs)
+			}
 			if j.frag.IsRoot {
 				resultRows = r.rows
 				resultFields = j.frag.Root.Schema()
@@ -299,16 +333,21 @@ func (c *Cluster) ExecuteLimited(ctx context.Context, plan *fragment.Plan, varia
 		})
 	}
 
+	modeled := simnet.Makespan(trace, c.Sim)
+	qobs.WallNanos = time.Since(began).Nanoseconds()
+	qobs.ModeledNanos = modeled.Nanoseconds()
+
 	return &Result{
 		Rows:         resultRows,
 		Fields:       resultFields,
-		Modeled:      simnet.Makespan(trace, c.Sim),
+		Modeled:      modeled,
 		Work:         trace.TotalWork(),
 		BytesShipped: trace.TotalBytes(),
 		Fragments:    len(plan.Fragments),
 		Instances:    instances,
 		Retries:      retryCount,
 		Workers:      workers,
+		Obs:          qobs,
 	}, nil
 }
 
@@ -332,9 +371,9 @@ func (c *Cluster) siteStateAt(site, ordinal int, dying map[int]int) siteState {
 // wave's failure set deterministic; only context cancellation stops the
 // wave early.
 func (c *Cluster) runWave(ctx context.Context, jobs []instanceJob, results []instanceResult,
-	transport *exec.Transport, workers int, workLimit float64, dying map[int]int) {
+	transport *exec.Transport, workers int, workLimit float64, dying map[int]int, began time.Time) {
 
-	run := func(i int) { c.runInstance(ctx, jobs[i], &results[i], transport, workLimit, dying) }
+	run := func(i int) { c.runInstance(ctx, jobs[i], &results[i], transport, workLimit, dying, began) }
 
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -368,7 +407,24 @@ func (c *Cluster) runWave(ctx context.Context, jobs []instanceJob, results []ins
 // attempt sequence is a pure function of the job's identity and the fault
 // plan, so it is identical at every worker count.
 func (c *Cluster) runInstance(ctx context.Context, j instanceJob, r *instanceResult,
-	transport *exec.Transport, workLimit float64, dying map[int]int) {
+	transport *exec.Transport, workLimit float64, dying map[int]int, began time.Time) {
+
+	// span emits one trace span for an attempt of this instance. Offsets
+	// are wall-clock (outside the determinism contract); the span set and
+	// its order are deterministic.
+	span := func(host, attempt int, start time.Time, status obs.SpanStatus, err error) {
+		s := obs.Span{
+			Frag: j.frag.ID, Site: j.site, Host: host, Variant: j.variant,
+			Attempt: attempt, Ordinal: j.ordinal, Wave: j.wave,
+			StartNanos: start.Sub(began).Nanoseconds(),
+			EndNanos:   time.Since(began).Nanoseconds(),
+			Status:     status,
+		}
+		if err != nil {
+			s.Error = err.Error()
+		}
+		r.spans = append(r.spans, s)
+	}
 
 	// The failover chain: hash-content fragments may run at any replica
 	// of their partition; everything else is pinned to its site.
@@ -397,6 +453,7 @@ func (c *Cluster) runInstance(ctx context.Context, j instanceJob, r *instanceRes
 			r.retries = append(r.retries, simnet.Retry{
 				Frag: j.frag.ID, Site: j.site, Variant: j.variant, Host: chain[hostIdx],
 			})
+			span(chain[hostIdx], attempt, time.Now(), obs.SpanSkipped, faults.ErrSiteCrash)
 			hostIdx++
 		}
 		if host < 0 {
@@ -413,6 +470,7 @@ func (c *Cluster) runInstance(ctx context.Context, j instanceJob, r *instanceRes
 			return
 		}
 
+		attemptStart := time.Now()
 		ectx := &exec.Context{
 			Store:     c.Store,
 			Transport: transport,
@@ -427,6 +485,8 @@ func (c *Cluster) runInstance(ctx context.Context, j instanceJob, r *instanceRes
 			Modes:     j.modes,
 			WorkLimit: workLimit,
 			RowLimit:  c.RowLimit,
+			OpIDs:     j.fobs.OpIndex,
+			Obs:       obs.NewInstanceObs(j.fobs),
 		}
 		rows, err := exec.Run(j.frag.Root, ectx)
 		if err == nil && state == siteDying {
@@ -439,6 +499,8 @@ func (c *Cluster) runInstance(ctx context.Context, j instanceJob, r *instanceRes
 			// clock converts work to time, so the slowdown lands in the
 			// modeled response time.
 			r.work = ectx.CPUWork * c.Faults.Slowdown(host)
+			r.obs = ectx.Obs
+			span(host, attempt, attemptStart, obs.SpanOK, nil)
 			return
 		}
 
@@ -448,11 +510,13 @@ func (c *Cluster) runInstance(ctx context.Context, j instanceJob, r *instanceRes
 		bytes, _ := transport.DiscardFrom(j.frag.ID, j.site, j.variant)
 
 		if !faults.Injected(err) || attempt == maxAttempts-1 {
+			span(host, attempt, attemptStart, obs.SpanFailed, err)
 			r.err = err
 			return
 		}
 		// Retryable fault: charge the lost attempt (its CPU work and the
 		// bytes that must be resent) and fail over.
+		span(host, attempt, attemptStart, obs.SpanRetried, err)
 		r.retries = append(r.retries, simnet.Retry{
 			Frag: j.frag.ID, Site: j.site, Variant: j.variant, Host: host,
 			Work: ectx.CPUWork * c.Faults.Slowdown(host), Bytes: bytes,

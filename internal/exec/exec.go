@@ -14,10 +14,12 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"gignite/internal/cost"
 	"gignite/internal/faults"
 	"gignite/internal/fragment"
+	"gignite/internal/obs"
 	"gignite/internal/physical"
 	"gignite/internal/storage"
 	"gignite/internal/types"
@@ -187,12 +189,100 @@ type Context struct {
 	rowsEmitted int64
 	// rowCounter implements the splitter's read counter per source.
 	rowCounters map[physical.Node]int64
+	// OpIDs maps this fragment's operators to dense per-fragment operator
+	// ids, and Obs is the attempt's private per-operator recorder. Both
+	// nil disables instrumentation (microbenchmarks, operator unit tests).
+	OpIDs map[physical.Node]int
+	Obs   *obs.InstanceObs
+	// opStack tracks the operator frames currently executing, so work()
+	// attributes modeled work to the operator that charged it (self work,
+	// children excluded).
+	opStack []int
 }
 
 // ErrWorkLimit reports an execution exceeding its work limit.
 var ErrWorkLimit = errors.New("exec: work limit exceeded")
 
-func (c *Context) work(units float64) { c.CPUWork += units }
+func (c *Context) work(units float64) {
+	c.CPUWork += units
+	if c.Obs != nil && len(c.opStack) > 0 {
+		c.Obs.Ops[c.opStack[len(c.opStack)-1]].Work += units
+	}
+}
+
+// opFrame is one open operator instrumentation frame; id < 0 means the
+// operator is untracked and the frame is a no-op.
+type opFrame struct {
+	id    int
+	start time.Time
+}
+
+// openOp starts an operator's instrumentation frame.
+func (c *Context) openOp(n physical.Node) opFrame {
+	if c.Obs == nil {
+		return opFrame{id: -1}
+	}
+	id, ok := c.OpIDs[n]
+	if !ok {
+		return opFrame{id: -1}
+	}
+	c.opStack = append(c.opStack, id)
+	return opFrame{id: id, start: time.Now()}
+}
+
+// closeOp finishes a frame, recording output rows, the materialization
+// high-water mark and inclusive wall time.
+func (c *Context) closeOp(f opFrame, rows []types.Row) {
+	if f.id < 0 {
+		return
+	}
+	c.opStack = c.opStack[:len(c.opStack)-1]
+	op := &c.Obs.Ops[f.id]
+	op.RowsOut += int64(len(rows))
+	op.WallNanos += time.Since(f.start).Nanoseconds()
+	if n := int64(len(rows)); n > op.PeakRows {
+		op.PeakRows = n
+	}
+}
+
+// opstat returns an operator's recorder slot (nil when untracked).
+func (c *Context) opstat(n physical.Node) *OpStatsRef {
+	if c.Obs == nil {
+		return nil
+	}
+	id, ok := c.OpIDs[n]
+	if !ok {
+		return nil
+	}
+	return (*OpStatsRef)(&c.Obs.Ops[id])
+}
+
+// OpStatsRef aliases an operator's recorder slot for the few operators
+// that record extra detail (receiver batches, hash build sizes, scan
+// input rows).
+type OpStatsRef obs.OpStats
+
+func (o *OpStatsRef) addIn(n int64) {
+	if o != nil {
+		o.RowsIn += n
+	}
+}
+
+func (o *OpStatsRef) addBatches(n int64) {
+	if o != nil {
+		o.Batches += n
+	}
+}
+
+func (o *OpStatsRef) addBuild(n int64) {
+	if o == nil {
+		return
+	}
+	o.BuildRows += n
+	if n > o.PeakRows {
+		o.PeakRows = n
+	}
+}
 
 // overLimit reports whether the instance has exceeded its work budget.
 func (c *Context) overLimit() bool {
@@ -254,17 +344,32 @@ func Run(n physical.Node, ctx *Context) ([]types.Row, error) {
 func runInstance(n physical.Node, ctx *Context) ([]types.Row, error) {
 	switch t := n.(type) {
 	case *physical.Sender:
+		f := ctx.openOp(t)
 		rows, err := runNode(t.Inputs()[0], ctx)
 		if err != nil {
+			ctx.closeOp(f, nil)
 			return nil, err
 		}
-		return nil, sendRows(t, rows, ctx)
+		ctx.opstat(t).addIn(int64(len(rows)))
+		err = sendRows(t, rows, ctx)
+		ctx.closeOp(f, rows)
+		return nil, err
 	default:
 		return runNode(n, ctx)
 	}
 }
 
+// runNode executes one operator subtree, wrapping the dispatch in the
+// observability frame: output rows, wall time and self modeled work are
+// recorded per operator (see Context.openOp).
 func runNode(n physical.Node, ctx *Context) ([]types.Row, error) {
+	f := ctx.openOp(n)
+	rows, err := execNode(n, ctx)
+	ctx.closeOp(f, rows)
+	return rows, err
+}
+
+func execNode(n physical.Node, ctx *Context) ([]types.Row, error) {
 	if ctx.overLimit() {
 		return nil, ErrWorkLimit
 	}
@@ -277,6 +382,7 @@ func runNode(n physical.Node, ctx *Context) ([]types.Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		ctx.opstat(n).addIn(int64(len(rows)))
 		ctx.work(float64(len(rows)) * cost.RPTC)
 		return ctx.sourceRows(n, rows), nil
 
@@ -285,6 +391,7 @@ func runNode(n physical.Node, ctx *Context) ([]types.Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		ctx.opstat(n).addIn(int64(len(rows)))
 		ctx.work(float64(len(rows)) * cost.RPTC * 1.2)
 		return ctx.sourceRows(n, rows), nil
 
@@ -299,6 +406,7 @@ func runNode(n physical.Node, ctx *Context) ([]types.Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		ctx.opstat(n).addIn(int64(len(in)))
 		ctx.work(float64(len(in)) * (cost.RPTC + cost.RCC))
 		out := make([]types.Row, 0, len(in))
 		for _, r := range in {
@@ -314,6 +422,7 @@ func runNode(n physical.Node, ctx *Context) ([]types.Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		ctx.opstat(n).addIn(int64(len(in)))
 		ctx.work(float64(len(in)) * cost.RPTC * float64(len(t.Exprs)))
 		out := make([]types.Row, len(in))
 		for i, r := range in {
@@ -330,6 +439,7 @@ func runNode(n physical.Node, ctx *Context) ([]types.Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		ctx.opstat(n).addIn(int64(len(in)))
 		n := float64(len(in))
 		if n > 1 {
 			ctx.work(n * cost.RPTC)
@@ -347,6 +457,7 @@ func runNode(n physical.Node, ctx *Context) ([]types.Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		ctx.opstat(n).addIn(int64(len(in)))
 		if int64(len(in)) > t.N {
 			in = in[:t.N]
 		}
@@ -358,6 +469,7 @@ func runNode(n physical.Node, ctx *Context) ([]types.Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		ctx.opstat(n).addIn(int64(len(in)))
 		return runHashAggregate(t.GroupBy, t.Aggs, in, ctx)
 
 	case *physical.SortAggregate:
@@ -365,6 +477,7 @@ func runNode(n physical.Node, ctx *Context) ([]types.Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		ctx.opstat(n).addIn(int64(len(in)))
 		return runSortAggregate(t.GroupBy, t.Aggs, in, ctx)
 
 	case *physical.Join:
@@ -376,6 +489,7 @@ func runNode(n physical.Node, ctx *Context) ([]types.Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		ctx.opstat(n).addIn(int64(len(left) + len(right)))
 		return runJoin(t, left, right, ctx)
 
 	default:
@@ -459,6 +573,9 @@ func runReceiver(r *physical.Receiver, ctx *Context) ([]types.Row, error) {
 	for _, b := range batches {
 		total += len(b.Rows)
 	}
+	st := ctx.opstat(r)
+	st.addIn(int64(total))
+	st.addBatches(int64(len(batches)))
 	out := make([]types.Row, 0, total)
 	for _, b := range batches {
 		out = append(out, b.Rows...)

@@ -246,6 +246,7 @@ func runHashJoin(j *physical.Join, left, right []types.Row, ctx *Context) ([]typ
 		return nil, fmt.Errorf("exec: hash join without equi keys")
 	}
 	ctx.work((float64(len(left)) + float64(len(right))) * (cost.RCC + cost.RPTC + cost.HAC))
+	ctx.opstat(j).addBuild(int64(len(right)))
 	leftCols := make([]int, len(j.Keys))
 	rightCols := make([]int, len(j.Keys))
 	for i, k := range j.Keys {

@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"fmt"
+
+	"gignite"
+	"gignite/internal/obs"
+	"gignite/internal/tpch"
+)
+
+// MetricsSchema versions the benchrunner -metrics JSON file. The file is
+// one MetricsFile object:
+//
+//	{
+//	  "schema":   "gignite.metrics/v1",
+//	  "system":   "IC+M",            // system variant
+//	  "workload": "TPC-H",
+//	  "sf":       0.1,               // scale factor
+//	  "sites":    4,                 // simulated processing sites
+//	  "queries":  [ ... ],           // one QueryMetrics per query run
+//	  "engine":   { ... }            // cumulative obs.Snapshot: counters,
+//	}                                // gauges, histograms
+//
+// Each QueryMetrics element carries the query's modeled and wall times,
+// totals (work, bytes, instances, retries, spans) and the per-operator
+// estimate-vs-actual report ("operators": est_rows from the planner,
+// act_rows summed over successful instances, qerror the symmetric
+// (est+1)/(act+1) ratio). All deterministic fields are identical across
+// hosts and worker counts; wall_seconds is host measurement.
+const MetricsSchema = "gignite.metrics/v1"
+
+// OperatorMetrics is one row of the estimate-vs-actual report.
+type OperatorMetrics struct {
+	Frag    int     `json:"frag"`
+	Op      string  `json:"op"`
+	EstRows float64 `json:"est_rows"`
+	ActRows int64   `json:"act_rows"`
+	QError  float64 `json:"qerror"`
+	Work    float64 `json:"work"`
+}
+
+// QueryMetrics is the observability record of one benchmark query run.
+type QueryMetrics struct {
+	Label       string            `json:"label"`
+	PlanDigest  string            `json:"plan_digest"`
+	ModeledSecs float64           `json:"modeled_seconds"`
+	WallSecs    float64           `json:"wall_seconds"`
+	Rows        int               `json:"rows"`
+	Work        float64           `json:"work"`
+	Bytes       float64           `json:"bytes_shipped"`
+	Instances   int               `json:"instances"`
+	Retries     int               `json:"retries"`
+	Spans       int               `json:"spans"`
+	Operators   []OperatorMetrics `json:"operators"`
+}
+
+// MetricsFile is the top-level -metrics JSON document (see MetricsSchema).
+type MetricsFile struct {
+	Schema   string         `json:"schema"`
+	System   string         `json:"system"`
+	Workload string         `json:"workload"`
+	SF       float64        `json:"sf"`
+	Sites    int            `json:"sites"`
+	Queries  []QueryMetrics `json:"queries"`
+	Engine   obs.Snapshot   `json:"engine"`
+}
+
+// queryMetrics flattens one Result's observation record.
+func queryMetrics(label string, res *gignite.Result) QueryMetrics {
+	qm := QueryMetrics{
+		Label:       label,
+		ModeledSecs: res.Stats.Modeled.Seconds(),
+		Rows:        len(res.Rows),
+		Work:        res.Stats.Work,
+		Bytes:       res.Stats.BytesShipped,
+		Instances:   res.Stats.Instances,
+		Retries:     res.Stats.Retries,
+		Spans:       res.Stats.Spans,
+	}
+	q := res.Obs
+	if q == nil {
+		return qm
+	}
+	qm.PlanDigest = q.PlanDigest
+	qm.WallSecs = float64(q.WallNanos) / 1e9
+	for _, fo := range q.Fragments {
+		if fo == nil {
+			continue
+		}
+		for _, op := range fo.Ops {
+			qerr := (op.EstRows + 1) / (float64(op.RowsOut) + 1)
+			if inv := 1 / qerr; inv > qerr {
+				qerr = inv
+			}
+			qm.Operators = append(qm.Operators, OperatorMetrics{
+				Frag: fo.Frag, Op: op.Op,
+				EstRows: op.EstRows, ActRows: op.RowsOut,
+				QError: qerr, Work: op.Work,
+			})
+		}
+	}
+	return qm
+}
+
+// CollectMetrics runs the selected TPC-H queries once each on one engine
+// and returns the metrics document plus the raw per-query observation
+// records (for trace export). ids selects TPC-H query numbers; nil runs
+// the full paper set.
+func CollectMetrics(env *Env, sys System, sites int, sf float64, ids []int) (*MetricsFile, []*obs.QueryObs, error) {
+	e, err := env.Engine(TPCH, sys, sites, sf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(ids) == 0 {
+		for _, q := range tpch.Queries() {
+			if !q.RequiresViews && q.ID != 20 {
+				ids = append(ids, q.ID)
+			}
+		}
+	}
+	mf := &MetricsFile{
+		Schema: MetricsSchema, System: string(sys),
+		Workload: TPCH.String(), SF: sf, Sites: sites,
+	}
+	var traces []*obs.QueryObs
+	for _, id := range ids {
+		q := tpch.QueryByID(id)
+		if q == nil {
+			return nil, nil, fmt.Errorf("harness: unknown TPC-H query %d", id)
+		}
+		label := fmt.Sprintf("Q%d", q.ID)
+		res, err := e.Query(q.SQL)
+		if err != nil {
+			return nil, nil, fmt.Errorf("harness: %s: %w", label, err)
+		}
+		if res.Obs != nil {
+			res.Obs.Label = label
+			traces = append(traces, res.Obs)
+		}
+		mf.Queries = append(mf.Queries, queryMetrics(label, res))
+	}
+	mf.Engine = e.Metrics()
+	return mf, traces, nil
+}

@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"gignite/internal/physical"
+)
+
+// OpStats is the runtime record of one physical operator within one
+// fragment, aggregated over the fragment's successful instance
+// executions. Row counts, batches, build sizes and modeled work are
+// deterministic across host worker counts; WallNanos is host measurement.
+type OpStats struct {
+	// Op is the operator's Describe() line.
+	Op string `json:"op"`
+	// EstRows is the planner's cardinality estimate for the operator.
+	EstRows float64 `json:"est_rows"`
+	// RowsIn counts input rows consumed (for scans: partition rows read
+	// before variant splitting; for receivers: rows received).
+	RowsIn int64 `json:"rows_in"`
+	// RowsOut counts output rows produced, summed across instances — the
+	// "actual" side of the estimate-vs-actual report.
+	RowsOut int64 `json:"rows_out"`
+	// Batches counts transport batches consumed (receivers only).
+	Batches int64 `json:"batches,omitempty"`
+	// BuildRows counts hash-table build-side rows (hash joins only;
+	// hash-aggregate group counts equal RowsOut).
+	BuildRows int64 `json:"build_rows,omitempty"`
+	// PeakRows is the spill-free memory high-water mark in rows: the
+	// largest single materialization (output or build table) any one
+	// instance of this operator held.
+	PeakRows int64 `json:"peak_rows"`
+	// Work is the modeled executor work charged by this operator itself
+	// (children excluded).
+	Work float64 `json:"work"`
+	// WallNanos is cumulative host wall time inclusive of children
+	// (outside the determinism contract).
+	WallNanos int64 `json:"wall_ns"`
+}
+
+// FragmentObs is the per-fragment view: one OpStats per operator in
+// pre-order (root first), plus the instance count that contributed.
+type FragmentObs struct {
+	Frag int  `json:"frag"`
+	Root bool `json:"root,omitempty"`
+	// Instances counts successful fragment instances merged into Ops.
+	Instances int `json:"instances"`
+	// Ops holds the fragment's operators in pre-order walk order.
+	Ops []*OpStats `json:"ops"`
+	// OpIndex maps the fragment's plan nodes to indices in Ops. It is a
+	// runtime navigation aid (EXPLAIN ANALYZE rendering), not exported.
+	OpIndex map[physical.Node]int `json:"-"`
+}
+
+// NewFragmentObs walks a fragment's operator tree in pre-order, assigning
+// dense operator ids and capturing each operator's description and
+// planner estimate. A DAG-shared node keeps its first id.
+func NewFragmentObs(frag int, root bool, planRoot physical.Node) *FragmentObs {
+	fo := &FragmentObs{Frag: frag, Root: root, OpIndex: make(map[physical.Node]int)}
+	physical.Walk(planRoot, func(n physical.Node) bool {
+		if _, seen := fo.OpIndex[n]; seen {
+			return false
+		}
+		fo.OpIndex[n] = len(fo.Ops)
+		fo.Ops = append(fo.Ops, &OpStats{Op: n.Describe(), EstRows: n.Props().EstRows})
+		return true
+	})
+	return fo
+}
+
+// InstanceObs is the private recorder of one fragment instance attempt:
+// one slot per operator id. Instances never share an InstanceObs, so
+// recording needs no synchronization; the wave barrier merges successful
+// attempts in deterministic job order.
+type InstanceObs struct {
+	Ops []OpStats
+}
+
+// NewInstanceObs creates a recorder sized for a fragment.
+func NewInstanceObs(fo *FragmentObs) *InstanceObs {
+	return &InstanceObs{Ops: make([]OpStats, len(fo.Ops))}
+}
+
+// Merge folds one successful instance's records into the fragment view.
+func (fo *FragmentObs) Merge(in *InstanceObs) {
+	fo.Instances++
+	for i := range in.Ops {
+		src, dst := &in.Ops[i], fo.Ops[i]
+		dst.RowsIn += src.RowsIn
+		dst.RowsOut += src.RowsOut
+		dst.Batches += src.Batches
+		dst.BuildRows += src.BuildRows
+		dst.Work += src.Work
+		dst.WallNanos += src.WallNanos
+		if src.PeakRows > dst.PeakRows {
+			dst.PeakRows = src.PeakRows
+		}
+	}
+}
+
+// SpanStatus is the outcome of one fragment-instance attempt.
+type SpanStatus string
+
+// Span statuses.
+const (
+	// SpanOK: the attempt succeeded and its outputs were kept.
+	SpanOK SpanStatus = "ok"
+	// SpanRetried: the attempt failed with a retryable fault and a later
+	// attempt took over (its shipments were rolled back).
+	SpanRetried SpanStatus = "retried"
+	// SpanSkipped: the target host was already known dead, so the attempt
+	// failed over immediately without executing (zero-cost recovery).
+	SpanSkipped SpanStatus = "skipped"
+	// SpanFailed: the attempt failed terminally.
+	SpanFailed SpanStatus = "failed"
+)
+
+// Span is one fragment-instance attempt in the per-query distributed
+// trace. Start/End are wall-clock offsets from the query's start; the
+// span set and its ordering are deterministic, the offsets are not.
+type Span struct {
+	Frag    int `json:"frag"`
+	Site    int `json:"site"`
+	Host    int `json:"host"`
+	Variant int `json:"variant"`
+	Attempt int `json:"attempt"`
+	// Ordinal is the instance's deterministic global sequence number (the
+	// same ordinal fault plans address).
+	Ordinal int `json:"ordinal"`
+	// Wave is the scheduler wave the instance ran in.
+	Wave       int        `json:"wave"`
+	StartNanos int64      `json:"start_ns"`
+	EndNanos   int64      `json:"end_ns"`
+	Status     SpanStatus `json:"status"`
+	Error      string     `json:"error,omitempty"`
+}
+
+// Edge is one exchange edge of the fragment DAG: producer fragment →
+// consumer fragment over an exchange id.
+type Edge struct {
+	Exchange int `json:"exchange"`
+	FromFrag int `json:"from_frag"`
+	ToFrag   int `json:"to_frag"`
+}
+
+// QueryObs is the complete observation record of one query: the trace
+// (spans parented under the query, connected by exchange edges) and the
+// per-fragment, per-operator runtime statistics.
+type QueryObs struct {
+	// QueryID is the engine's query sequence number.
+	QueryID uint64 `json:"query_id"`
+	// Label is an optional short name (benchmark query id).
+	Label string `json:"label,omitempty"`
+	// SQL is the query text.
+	SQL string `json:"sql,omitempty"`
+	// PlanDigest is a stable hash of the fragmented physical plan text.
+	PlanDigest string `json:"plan_digest,omitempty"`
+	// Began is the query's wall-clock start (span offsets are relative).
+	Began time.Time `json:"began"`
+	// WallNanos is the query's host wall time.
+	WallNanos int64 `json:"wall_ns"`
+	// ModeledNanos is the simnet cost-clock response time.
+	ModeledNanos int64 `json:"modeled_ns"`
+	// Fragments is indexed by fragment id.
+	Fragments []*FragmentObs `json:"fragments"`
+	// Spans holds one span per fragment-instance attempt, in
+	// deterministic job order.
+	Spans []Span `json:"spans"`
+	// Edges lists the exchange edges of the fragment DAG.
+	Edges []Edge `json:"edges"`
+}
+
+// JSON renders the full observation record.
+func (q *QueryObs) JSON() ([]byte, error) { return json.MarshalIndent(q, "", "  ") }
+
+// TopOp identifies one operator in a ranking.
+type TopOp struct {
+	Frag int
+	Op   string
+	// Work is the operator's own modeled work; WallNanos its inclusive
+	// host wall time.
+	Work      float64
+	WallNanos int64
+}
+
+// TopOperators returns the k operators with the most self modeled work
+// (the deterministic notion of "operator time"), ties broken by fragment
+// then operator order so the ranking is stable.
+func (q *QueryObs) TopOperators(k int) []TopOp {
+	var all []TopOp
+	for _, fo := range q.Fragments {
+		if fo == nil {
+			continue
+		}
+		for _, op := range fo.Ops {
+			all = append(all, TopOp{Frag: fo.Frag, Op: op.Op, Work: op.Work, WallNanos: op.WallNanos})
+		}
+	}
+	sort.SliceStable(all, func(a, b int) bool { return all[a].Work > all[b].Work })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// chromeEvent is one Chrome trace_event (the about://tracing and Perfetto
+// import format, "X" complete events plus "M" metadata).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  uint64         `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace renders one or more query traces as a Chrome trace_event
+// file ({"traceEvents": [...]}): one process per query, one thread per
+// site, one complete event per span. Load it in Perfetto or
+// chrome://tracing.
+func ChromeTrace(queries []*QueryObs) ([]byte, error) {
+	var events []chromeEvent
+	for i, q := range queries {
+		pid := q.QueryID
+		if pid == 0 {
+			pid = uint64(i + 1)
+		}
+		name := q.Label
+		if name == "" {
+			name = fmt.Sprintf("query %d", pid)
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+		for _, s := range q.Spans {
+			events = append(events, chromeEvent{
+				Name: fmt.Sprintf("frag%d v%d a%d (%s)", s.Frag, s.Variant, s.Attempt, s.Status),
+				Ph:   "X",
+				Ts:   float64(s.StartNanos) / 1e3,
+				Dur:  float64(s.EndNanos-s.StartNanos) / 1e3,
+				Pid:  pid,
+				Tid:  s.Host,
+				Args: map[string]any{
+					"site": s.Site, "ordinal": s.Ordinal, "wave": s.Wave,
+					"status": string(s.Status), "error": s.Error,
+				},
+			})
+		}
+	}
+	return json.MarshalIndent(map[string]any{"traceEvents": events}, "", " ")
+}

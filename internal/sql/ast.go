@@ -125,9 +125,12 @@ type InsertStmt struct {
 
 func (*InsertStmt) stmt() {}
 
-// ExplainStmt wraps a query for EXPLAIN.
+// ExplainStmt wraps a query for EXPLAIN. Analyze marks EXPLAIN ANALYZE:
+// the engine executes the query and annotates the plan with estimated
+// vs. actual per-operator row counts.
 type ExplainStmt struct {
-	Query *SelectStmt
+	Query   *SelectStmt
+	Analyze bool
 }
 
 func (*ExplainStmt) stmt() {}

@@ -144,11 +144,12 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseSelect()
 	case p.isKeyword("explain"):
 		p.advance()
+		analyze := p.acceptKeyword("analyze")
 		sel, err := p.parseSelect()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Query: sel}, nil
+		return &ExplainStmt{Query: sel, Analyze: analyze}, nil
 	case p.isKeyword("create"):
 		return p.parseCreate()
 	case p.isKeyword("insert"):

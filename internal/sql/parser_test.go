@@ -382,8 +382,27 @@ func TestParseExplain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := stmt.(*ExplainStmt); !ok {
+	ex, ok := stmt.(*ExplainStmt)
+	if !ok || ex.Analyze {
 		t.Errorf("explain = %+v", stmt)
+	}
+}
+
+func TestParseExplainAnalyze(t *testing.T) {
+	stmt, err := Parse("EXPLAIN ANALYZE SELECT a FROM t WHERE a > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := stmt.(*ExplainStmt)
+	if !ok || !ex.Analyze {
+		t.Fatalf("explain analyze = %+v", stmt)
+	}
+	if ex.Query == nil || len(ex.Query.Items) != 1 {
+		t.Errorf("wrapped select = %+v", ex.Query)
+	}
+	// "analyze" is not reserved: it stays usable as an identifier.
+	if _, err := Parse("SELECT analyze FROM t"); err != nil {
+		t.Errorf("analyze as identifier: %v", err)
 	}
 }
 
