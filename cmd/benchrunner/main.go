@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	benchrunner -exp fig7|fig8|fig9|fig10|fig11|table3|failures|ablate|obs|all
+//	benchrunner -exp fig7|fig8|fig9|fig10|fig11|table3|failures|ablate|obs|filters|all
 //	            [-sf 0.005,0.01] [-sites 4,8] [-par 0]
-//	            [-backups 0] [-faults SPEC] [-timeout 0]
+//	            [-backups 0] [-faults SPEC] [-timeout 0] [-filters]
 //	            [-system ic+m] [-queries 1,3] [-metrics FILE] [-trace FILE]
 //
 // The obs experiment runs the selected TPC-H queries once on one system
@@ -15,6 +15,17 @@
 // Perfetto or chrome://tracing). benchrunner exits non-zero when the
 // estimate-vs-actual operator report comes back empty — the CI
 // observability smoke job relies on that.
+//
+// The filters experiment is the runtime join-filter smoke check
+// (DESIGN.md §13): it runs Q3/Q5/Q10 with filters off and on against the
+// same data and prints rows, shipped bytes, modeled time and pruned-row
+// counts side by side. It exits non-zero if any query's results diverge
+// between the two runs, or if Q3 fails to ship fewer bytes with filters
+// on — the CI filters-smoke job relies on that.
+//
+// -filters enables runtime join-filter pushdown for the table/figure
+// experiments (the modeled times then include filter build cost and the
+// shipped-volume savings).
 //
 // Response times are deterministic modeled times from the simnet cost
 // clock (see DESIGN.md), so runs are reproducible across hosts — and
@@ -36,20 +47,23 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"gignite"
 	"gignite/internal/harness"
 	"gignite/internal/obs"
+	"gignite/internal/tpch"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table3, failures, ablate, scaling, all")
+	exp := flag.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table3, failures, ablate, scaling, obs, filters, all")
 	sfs := flag.String("sf", "0.005,0.01", "comma-separated scale factors")
 	sites := flag.String("sites", "4,8", "comma-separated site counts")
 	par := flag.Int("par", 0, "host execution parallelism: 0 = GOMAXPROCS, 1 = sequential")
 	backups := flag.Int("backups", 0, "backup replicas per partition (0 = no redundancy)")
 	faultSpec := flag.String("faults", "", `fault plan, e.g. "seed=7;crash=2@4;slow=1x2;sendfail=0.05"`)
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock deadline (0 = none)")
+	filters := flag.Bool("filters", false, "enable runtime join-filter pushdown")
 	system := flag.String("system", "ic+m", "obs experiment: system variant (ic, ic+, ic+m)")
 	queries := flag.String("queries", "", "obs experiment: comma-separated TPC-H query ids (empty = paper set)")
 	metricsOut := flag.String("metrics", "", "obs experiment: write the metrics JSON to this file")
@@ -66,6 +80,7 @@ func main() {
 	opts.Env.Backups = *backups
 	opts.Env.Faults = plan
 	opts.Env.Timeout = *timeout
+	opts.Env.Filters = *filters
 	for _, s := range strings.Split(*sfs, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 		if err != nil {
@@ -83,6 +98,10 @@ func main() {
 
 	if *exp == "obs" {
 		runObs(opts, *system, *queries, *metricsOut, *traceOut)
+		return
+	}
+	if *exp == "filters" {
+		runFilters(opts, *queries)
 		return
 	}
 
@@ -182,6 +201,82 @@ func runObs(opts harness.Options, system, queryList, metricsOut, traceOut string
 	if ops == 0 {
 		fatalf("obs: estimate-vs-actual report is empty")
 	}
+}
+
+// runFilters executes the runtime join-filter smoke check: each query
+// runs with filters off and on against identically loaded engines, the
+// two result sets must match byte for byte, and Q3 (always included)
+// must ship fewer bytes with filters on.
+func runFilters(opts harness.Options, queryList string) {
+	ids := []int{3, 5, 10}
+	if queryList != "" {
+		ids = nil
+		for _, s := range strings.Split(queryList, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatalf("bad -queries value %q: %v", s, err)
+			}
+			ids = append(ids, id)
+		}
+	}
+	sf := opts.SFs[0]
+	sites := opts.Sites[0]
+	env := opts.Env
+	env.Filters = false
+	off, err := env.Engine(harness.TPCH, harness.ICPlus, sites, sf)
+	if err != nil {
+		fatalf("filters: %v", err)
+	}
+	env.Filters = true
+	on, err := env.Engine(harness.TPCH, harness.ICPlus, sites, sf)
+	if err != nil {
+		fatalf("filters: %v", err)
+	}
+	fmt.Printf("runtime join-filter smoke: IC+ sf=%g sites=%d\n", sf, sites)
+	fmt.Printf("%-5s %8s %14s %14s %12s %12s %8s %8s\n",
+		"query", "rows", "bytes_off", "bytes_on", "modeled_off", "modeled_on", "filters", "pruned")
+	failed := false
+	for _, id := range ids {
+		q := tpch.QueryByID(id)
+		if q == nil {
+			fatalf("filters: unknown TPC-H query %d", id)
+		}
+		base, err := off.Query(q.SQL)
+		if err != nil {
+			fatalf("filters: Q%d off: %v", id, err)
+		}
+		res, err := on.Query(q.SQL)
+		if err != nil {
+			fatalf("filters: Q%d on: %v", id, err)
+		}
+		fmt.Printf("Q%-4d %8d %14.0f %14.0f %12v %12v %8d %8d\n",
+			id, len(res.Rows), base.Stats.BytesShipped, res.Stats.BytesShipped,
+			base.Modeled.Round(time.Microsecond), res.Modeled.Round(time.Microsecond),
+			res.Stats.FiltersBuilt, res.Stats.RowsPruned)
+		if rowsText(base.Rows) != rowsText(res.Rows) {
+			fmt.Fprintf(os.Stderr, "benchrunner: filters: Q%d results diverge with filters on (%d vs %d rows)\n",
+				id, len(base.Rows), len(res.Rows))
+			failed = true
+		}
+		if id == 3 && res.Stats.BytesShipped >= base.Stats.BytesShipped {
+			fmt.Fprintf(os.Stderr, "benchrunner: filters: Q3 shipped bytes did not drop (%.0f -> %.0f)\n",
+				base.Stats.BytesShipped, res.Stats.BytesShipped)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// rowsText renders a result set (row order included) for comparison.
+func rowsText(rows []gignite.Row) string {
+	var sb strings.Builder
+	for _, r := range rows {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
 }
 
 func fatalf(format string, args ...interface{}) {

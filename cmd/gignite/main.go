@@ -32,6 +32,7 @@ func main() {
 	load := flag.String("load", "", "preload a benchmark: tpch or ssb")
 	sf := flag.Float64("sf", 0.01, "benchmark scale factor")
 	slow := flag.Duration("slowquery", 0, "log queries whose modeled time reaches this threshold (0 disables)")
+	filters := flag.Bool("filters", false, "enable runtime join-filter pushdown (DESIGN.md \u00a713)")
 	flag.Parse()
 
 	var cfg gignite.Config
@@ -47,6 +48,7 @@ func main() {
 		os.Exit(1)
 	}
 	cfg.ExecWorkLimit = harness.WorkLimitFor(*sf)
+	cfg.RuntimeFilters = *filters
 	if *slow > 0 {
 		cfg.SlowQueryThreshold = *slow
 		cfg.Logger = func(format string, args ...interface{}) {

@@ -34,6 +34,7 @@ import (
 	"gignite/internal/faults"
 	"gignite/internal/fragment"
 	"gignite/internal/hep"
+	"gignite/internal/joinfilter"
 	"gignite/internal/logical"
 	"gignite/internal/obs"
 	"gignite/internal/physical"
@@ -116,6 +117,19 @@ type Config struct {
 	// VariantFragments is the §5.3 per-fragment thread count; values <= 1
 	// disable multithreading. The paper found 2 performed best.
 	VariantFragments int
+	// RuntimeFilters enables runtime join-filter pushdown (DESIGN.md §13):
+	// a hash join's build keys are computed in a pre-pass and shipped
+	// sideways to the probe-side producer fragment, which drops rows that
+	// cannot match before they are batched and sent. Results are
+	// byte-identical with the feature off; it trades a small filter
+	// build/ship cost for reduced network volume. Off in every preset (an
+	// extension beyond the paper's system).
+	RuntimeFilters bool
+	// RuntimeFilterMaxBytes caps one bloom filter's size and
+	// RuntimeFilterSmallKeys the exact-set threshold (0 = joinfilter
+	// defaults: 64 KiB, 1024 keys).
+	RuntimeFilterMaxBytes  int
+	RuntimeFilterSmallKeys int
 
 	// --- limits and modeling ---
 
@@ -229,6 +243,7 @@ type engineMetrics struct {
 	queries, failed, slow       *obs.Counter
 	rows, work, bytes           *obs.Counter
 	instances, retries, spans   *obs.Counter
+	filters, pruned             *obs.Counter
 	inflight                    *obs.Gauge
 	modeledSeconds, wallSeconds *obs.Histogram
 }
@@ -249,6 +264,10 @@ func Open(cfg Config) *Engine {
 		cl.RowLimit = cfg.ExecRowLimit
 	}
 	cl.Faults = faults.New(cfg.Faults)
+	cl.FilterParams = joinfilter.Params{
+		MaxBytes:  cfg.RuntimeFilterMaxBytes,
+		SmallKeys: cfg.RuntimeFilterSmallKeys,
+	}
 	reg := obs.NewRegistry()
 	return &Engine{
 		cfg:     cfg,
@@ -267,6 +286,8 @@ func Open(cfg Config) *Engine {
 			instances:      reg.Counter("fragment_instances_total"),
 			retries:        reg.Counter("retries_total"),
 			spans:          reg.Counter("trace_spans_total"),
+			filters:        reg.Counter("filters_built_total"),
+			pruned:         reg.Counter("filter_rows_pruned_total"),
 			inflight:       reg.Gauge("queries_inflight"),
 			modeledSeconds: reg.Histogram("query_modeled_seconds", obs.DefaultTimeBuckets()),
 			wallSeconds:    reg.Histogram("query_wall_seconds", obs.DefaultTimeBuckets()),
@@ -332,6 +353,12 @@ type ExecStats struct {
 	Modeled time.Duration
 	// PlanTickets is the planner search effort.
 	PlanTickets int
+	// FiltersBuilt counts runtime join filters the pre-pass constructed;
+	// FilterBytes is their total modeled shipment and RowsPruned the
+	// probe-side rows they dropped before shipping (DESIGN.md §13).
+	FiltersBuilt int
+	FilterBytes  int64
+	RowsPruned   int64
 }
 
 // Exec parses and executes one SQL statement (DDL, INSERT, SELECT or
@@ -543,6 +570,9 @@ func (e *Engine) run(ctx context.Context, sel *sql.SelectStmt, src string) (*Res
 		return nil, nil, err
 	}
 	fp := fragment.Split(pp)
+	if e.cfg.RuntimeFilters {
+		fragment.PlanRuntimeFilters(fp)
+	}
 	variants := e.cfg.VariantFragments
 	if variants < 1 {
 		variants = 1
@@ -579,6 +609,9 @@ func (e *Engine) run(ctx context.Context, sel *sql.SelectStmt, src string) (*Res
 			Retries:      res.Retries,
 			Modeled:      res.Modeled,
 			PlanTickets:  vp.TicketsUsed,
+			FiltersBuilt: res.FiltersBuilt,
+			FilterBytes:  res.FilterBytes,
+			RowsPruned:   res.RowsPruned,
 		},
 	}
 	if qobs != nil {
@@ -598,6 +631,8 @@ func (e *Engine) recordQuery(res *Result, qobs *obs.QueryObs, src string) {
 	e.em.instances.Add(float64(res.Stats.Instances))
 	e.em.retries.Add(float64(res.Stats.Retries))
 	e.em.spans.Add(float64(res.Stats.Spans))
+	e.em.filters.Add(float64(res.Stats.FiltersBuilt))
+	e.em.pruned.Add(float64(res.Stats.RowsPruned))
 	e.em.modeledSeconds.Observe(res.Modeled.Seconds())
 	if qobs != nil {
 		e.em.wallSeconds.Observe(time.Duration(qobs.WallNanos).Seconds())
@@ -666,9 +701,18 @@ func formatAnalyzed(fp *fragment.Plan, q *obs.QueryObs, st *ExecStats) string {
 		formatAnalyzedNode(&sb, f.Root, fo, 0)
 	}
 	if q != nil {
-		fmt.Fprintf(&sb, "modeled=%v wall=%v work=%.0f bytes=%.0f instances=%d retries=%d spans=%d\n",
+		for _, f := range q.Filters {
+			fmt.Fprintf(&sb, "runtime filter #%d: join frag %d <- exchange %d (probe frag %d) keys=%d build_rows=%d bytes=%d tested=%d pruned=%d (%.1f%% pruned)\n",
+				f.ID, f.JoinFrag, f.Exchange, f.ProbeFrag,
+				f.Keys, f.BuildRows, f.Bytes, f.RowsTested, f.RowsPruned, 100*(1-f.Selectivity()))
+		}
+		fmt.Fprintf(&sb, "modeled=%v wall=%v work=%.0f bytes=%.0f instances=%d retries=%d spans=%d",
 			time.Duration(q.ModeledNanos), time.Duration(q.WallNanos),
 			st.Work, st.BytesShipped, st.Instances, st.Retries, st.Spans)
+		if st.FiltersBuilt > 0 {
+			fmt.Fprintf(&sb, " filters=%d rows_pruned=%d", st.FiltersBuilt, st.RowsPruned)
+		}
+		sb.WriteByte('\n')
 	}
 	return sb.String()
 }
@@ -686,6 +730,9 @@ func formatAnalyzedNode(sb *strings.Builder, n physical.Node, fo *obs.FragmentOb
 			}
 			if op.Batches > 0 {
 				fmt.Fprintf(sb, " batches=%d", op.Batches)
+			}
+			if op.RowsPruned > 0 {
+				fmt.Fprintf(sb, " pruned=%d", op.RowsPruned)
 			}
 			sb.WriteString("]")
 		}
@@ -712,8 +759,15 @@ func (e *Engine) explain(sel *sql.SelectStmt) (*Result, error) {
 		return nil, err
 	}
 	fp := fragment.Split(pp)
+	if e.cfg.RuntimeFilters {
+		fragment.PlanRuntimeFilters(fp)
+	}
 	var sb strings.Builder
 	sb.WriteString(fp.Format())
+	for _, rf := range fp.Filters {
+		sb.WriteString(rf.Describe())
+		sb.WriteByte('\n')
+	}
 	fmt.Fprintf(&sb, "planner tickets: %d\n", vp.TicketsUsed)
 	return &Result{PlanText: sb.String()}, nil
 }

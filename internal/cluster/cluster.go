@@ -35,9 +35,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gignite/internal/cost"
 	"gignite/internal/exec"
 	"gignite/internal/faults"
 	"gignite/internal/fragment"
+	"gignite/internal/joinfilter"
 	"gignite/internal/obs"
 	"gignite/internal/physical"
 	"gignite/internal/simnet"
@@ -67,6 +69,10 @@ type Cluster struct {
 	// wall-clock only; zero values use DefaultRetryBackoffBase/Cap).
 	RetryBackoffBase time.Duration
 	RetryBackoffCap  time.Duration
+	// FilterParams sizes runtime join filters (DESIGN.md §13); the zero
+	// value uses the joinfilter defaults. Filters only run when the plan
+	// carries RuntimeFilter edges (fragment.PlanRuntimeFilters).
+	FilterParams joinfilter.Params
 }
 
 // Default retry backoff bounds: tiny, because the "network" is in-process;
@@ -103,6 +109,12 @@ type Result struct {
 	Retries int
 	// Workers is the host worker-pool size the execution ran with.
 	Workers int
+	// FiltersBuilt counts runtime join filters constructed by the
+	// pre-pass; FilterBytes their total modeled shipment and RowsPruned
+	// the probe-side rows they dropped before batching (DESIGN.md §13).
+	FiltersBuilt int
+	FilterBytes  int64
+	RowsPruned   int64
 	// Obs is the query's observation record: per-operator runtime
 	// statistics per fragment, and one trace span per fragment-instance
 	// attempt, in deterministic job order.
@@ -141,6 +153,12 @@ type instanceJob struct {
 	// fobs is the fragment's observation view; instances record into a
 	// private obs.InstanceObs sized from it.
 	fobs *obs.FragmentObs
+	// filter, when non-nil, marks a runtime-filter pre-pass job: the
+	// instance executes the filter's build subtree (not the fragment
+	// root) at its site, before wave 0. Pre-pass jobs share the join
+	// fragment's identity, so fault plans and failover treat them like
+	// any other instance of that fragment.
+	filter *physical.RuntimeFilter
 }
 
 // instanceResult is the per-instance outcome a worker hands back to the
@@ -157,7 +175,10 @@ type instanceResult struct {
 	// obs is the successful attempt's per-operator record (nil when the
 	// instance failed terminally).
 	obs *obs.InstanceObs
-	err error
+	// ftested/fpruned are the instance's per-filter probe counts (nil
+	// when the instance applied no runtime filters).
+	ftested, fpruned map[int]int64
+	err              error
 }
 
 // siteState is a site's condition from the perspective of one instance
@@ -222,12 +243,56 @@ func (c *Cluster) ExecuteLimited(ctx context.Context, plan *fragment.Plan, varia
 		qobs.Fragments[f.ID] = obs.NewFragmentObs(f.ID, f.IsRoot, f.Root)
 	}
 
+	// Runtime-filter pre-pass jobs (DESIGN.md §13): each planned filter's
+	// build subtree runs at the join fragment's sites before wave 0, so
+	// the filter can reach the probe-side producers that execute in
+	// earlier waves. Pre-pass ordinals come first, which makes a fault
+	// plan's crash point cover them exactly like wave instances.
+	ordinal := 0
+	var (
+		fstate  *filterState
+		preJobs []instanceJob
+	)
+	for _, rf := range plan.Filters {
+		jf := plan.Fragments[rf.JoinFrag]
+		vs := fragment.BuildVariants(jf, variants)
+		if vs != nil && vs.Modes[rf.Receiver] == fragment.SplitMode {
+			// Variant instances split the probe receiver's rows by a
+			// per-variant counter; pruning ahead of the receiver would
+			// reshuffle that split and change results. Skip the filter.
+			continue
+		}
+		if fstate == nil {
+			fstate = newFilterState(c.FilterParams)
+		}
+		sites, partitioned := c.fragmentSites(jf)
+		bf := &builtFilter{
+			spec:    rf,
+			perSite: make(map[int]*joinfilter.Filter, len(sites)),
+			// Cache build rows for the join instance only when the join
+			// fragment is variant-free: variant instances re-read split
+			// sources, so their builds differ from the pre-pass's.
+			cache: vs == nil,
+		}
+		if bf.cache {
+			bf.rows = make(map[int][]types.Row, len(sites))
+		}
+		fstate.add(bf)
+		for _, site := range sites {
+			preJobs = append(preJobs, instanceJob{
+				frag: jf, site: site, variant: 0, nVariants: 1,
+				ordinal: ordinal, wave: -1, partitioned: partitioned,
+				fobs: qobs.Fragments[jf.ID], filter: rf,
+			})
+			ordinal++
+		}
+	}
+
 	// Build every wave's jobs up front, assigning deterministic instance
 	// ordinals in wave order: fault plans and failure reports address
 	// instances by ordinal, never by arrival order, so outcomes are
 	// identical at every worker count.
 	waveJobs := make([][]instanceJob, len(waves))
-	ordinal := 0
 	for w, wave := range waves {
 		for _, f := range wave {
 			trace.Order = append(trace.Order, f.ID)
@@ -257,6 +322,13 @@ func (c *Cluster) ExecuteLimited(ctx context.Context, plan *fragment.Plan, varia
 	// and loses its work; every later ordinal finds the site dead.
 	dying := make(map[int]int)
 	if c.Faults != nil {
+		for _, j := range preJobs {
+			if n, ok := c.Faults.CrashPoint(j.site); ok && j.ordinal >= n {
+				if _, seen := dying[j.site]; !seen {
+					dying[j.site] = j.ordinal
+				}
+			}
+		}
 		for _, jobs := range waveJobs {
 			for _, j := range jobs {
 				if n, ok := c.Faults.CrashPoint(j.site); ok && j.ordinal >= n {
@@ -274,12 +346,93 @@ func (c *Cluster) ExecuteLimited(ctx context.Context, plan *fragment.Plan, varia
 		instances    int
 		retryCount   int
 	)
+
+	// Execute the filter pre-pass and freeze the filters at its barrier.
+	// Pre-pass instances run through the same retry/failover machinery as
+	// wave instances; their work and filter shipments are charged to the
+	// trace as FilterBuild records (the join instances later reuse the
+	// cached build rows, so the build runs off the critical path).
+	if len(preJobs) > 0 {
+		results := make([]instanceResult, len(preJobs))
+		c.runWave(ctx, preJobs, results, transport, workers, workLimit, dying, began, nil)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var (
+			preErrs []error
+			seen    map[string]bool
+		)
+		unions := make(map[*physical.RuntimeFilter]*joinfilter.Builder)
+		for i := range preJobs {
+			j, r := preJobs[i], &results[i]
+			qobs.Spans = append(qobs.Spans, r.spans...)
+			if r.err != nil {
+				if seen == nil {
+					seen = make(map[string]bool)
+				}
+				if key := r.err.Error(); !seen[key] {
+					seen[key] = true
+					preErrs = append(preErrs, fmt.Errorf("cluster: filter %d build (fragment %d) at site %d: %w",
+						j.filter.ID, j.frag.ID, j.site, r.err))
+				}
+				continue
+			}
+			instances++
+			retryCount += len(r.retries)
+			trace.Retries = append(trace.Retries, r.retries...)
+			if r.obs != nil {
+				// Extra-instance merge: operator stats accumulate without
+				// bumping the fragment's Instances count (the pre-pass ran
+				// the build subtree the join instance will now skip).
+				j.fobs.MergeExtra(r.obs)
+			}
+			bf := fstate.bySpec[j.filter]
+			b := joinfilter.NewBuilder()
+			for _, row := range r.rows {
+				if buildKeyNull(row, j.filter.BuildCols) {
+					continue
+				}
+				b.Add(row.Hash(j.filter.BuildCols))
+			}
+			bf.perSite[j.site] = b.Build(fstate.params)
+			bf.buildRows += int64(len(r.rows))
+			if bf.cache {
+				bf.rows[j.site] = r.rows
+			}
+			if unions[j.filter] == nil {
+				unions[j.filter] = joinfilter.NewBuilder()
+			}
+			unions[j.filter].Merge(b)
+			// The key-insert work rides on the build subtree's work; both
+			// charge the trace's filter record, not the join instance.
+			insert := float64(len(r.rows)) * cost.BFIC * c.Faults.Slowdown(r.host)
+			bf.siteWork = append(bf.siteWork, siteWork{site: j.site, work: r.work + insert})
+		}
+		if len(preErrs) > 0 {
+			return nil, errors.Join(preErrs...)
+		}
+		for _, bf := range fstate.built {
+			bf.union = unions[bf.spec].Build(fstate.params)
+			// Each site ships its per-site filter plus its share of the
+			// union; the shares sum to exactly one union shipment.
+			unionShare := float64(bf.union.SizeBytes()) / float64(len(bf.siteWork))
+			for _, sw := range bf.siteWork {
+				bytes := float64(bf.perSite[sw.site].SizeBytes()) + unionShare
+				bf.bytes += int64(bytes)
+				trace.Filters = append(trace.Filters, simnet.FilterBuild{
+					Exchange: bf.spec.Exchange, JoinFrag: bf.spec.JoinFrag,
+					Site: sw.site, Work: sw.work, Bytes: bytes,
+				})
+			}
+		}
+	}
+
 	for _, jobs := range waveJobs {
 		if len(jobs) == 0 {
 			continue
 		}
 		results := make([]instanceResult, len(jobs))
-		c.runWave(ctx, jobs, results, transport, workers, workLimit, dying, began)
+		c.runWave(ctx, jobs, results, transport, workers, workLimit, dying, began, fstate)
 
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -316,6 +469,9 @@ func (c *Cluster) ExecuteLimited(ctx context.Context, plan *fragment.Plan, varia
 			if r.obs != nil {
 				j.fobs.Merge(r.obs)
 			}
+			if fstate != nil {
+				fstate.count(r.ftested, r.fpruned)
+			}
 			if j.frag.IsRoot {
 				resultRows = r.rows
 				resultFields = j.frag.Root.Schema()
@@ -326,18 +482,27 @@ func (c *Cluster) ExecuteLimited(ctx context.Context, plan *fragment.Plan, varia
 		}
 	}
 
+	exRows := make(map[int]int64)
+	exBytes := make(map[int]int64)
 	for _, s := range transport.Sends {
 		trace.Sends = append(trace.Sends, simnet.Send{
 			Exchange: s.Exchange, FromFrag: s.FromFrag, FromSite: s.FromSite,
 			FromVariant: s.FromVariant, ToSite: s.ToSite, Bytes: float64(s.Bytes),
 		})
+		exRows[s.Exchange] += s.Rows
+		exBytes[s.Exchange] += s.Bytes
+	}
+	for i := range qobs.Edges {
+		e := &qobs.Edges[i]
+		e.Rows = exRows[e.Exchange]
+		e.Bytes = exBytes[e.Exchange]
 	}
 
 	modeled := simnet.Makespan(trace, c.Sim)
 	qobs.WallNanos = time.Since(began).Nanoseconds()
 	qobs.ModeledNanos = modeled.Nanoseconds()
 
-	return &Result{
+	res := &Result{
 		Rows:         resultRows,
 		Fields:       resultFields,
 		Modeled:      modeled,
@@ -348,7 +513,135 @@ func (c *Cluster) ExecuteLimited(ctx context.Context, plan *fragment.Plan, varia
 		Retries:      retryCount,
 		Workers:      workers,
 		Obs:          qobs,
-	}, nil
+	}
+	if fstate != nil {
+		for _, bf := range fstate.built {
+			res.FiltersBuilt++
+			res.FilterBytes += bf.bytes
+			res.RowsPruned += bf.pruned
+			qobs.Filters = append(qobs.Filters, obs.FilterObs{
+				ID: bf.spec.ID, JoinFrag: bf.spec.JoinFrag, ProbeFrag: bf.spec.ProbeFrag,
+				Exchange: bf.spec.Exchange, Keys: bf.union.Keys(), BuildRows: bf.buildRows,
+				Bytes: bf.bytes, RowsTested: bf.tested, RowsPruned: bf.pruned,
+			})
+		}
+	}
+	return res, nil
+}
+
+// filterState carries the pre-pass products the wave jobs consume: one
+// builtFilter per planned (and not variant-skipped) RuntimeFilter.
+type filterState struct {
+	params  joinfilter.Params
+	built   []*builtFilter
+	bySpec  map[*physical.RuntimeFilter]*builtFilter
+	byJoin  map[int][]*builtFilter
+	byProbe map[int][]*builtFilter
+}
+
+// builtFilter is one runtime filter's frozen state after the pre-pass
+// barrier. perSite holds each join site's build-partition filter (what the
+// probe-side Sender tests per destination); union is their merge (what
+// deeper node-level pushdown tests, since those rows may still route
+// anywhere); rows caches the pre-pass build rows for reuse by the join
+// instance when the join fragment is variant-free.
+type builtFilter struct {
+	spec      *physical.RuntimeFilter
+	perSite   map[int]*joinfilter.Filter
+	union     *joinfilter.Filter
+	rows      map[int][]types.Row
+	cache     bool
+	buildRows int64
+	bytes     int64
+	siteWork  []siteWork
+	// tested/pruned accumulate probe counts from wave instances, merged
+	// at wave barriers in deterministic job order.
+	tested, pruned int64
+}
+
+type siteWork struct {
+	site int
+	work float64
+}
+
+func newFilterState(p joinfilter.Params) *filterState {
+	return &filterState{
+		params:  p,
+		bySpec:  make(map[*physical.RuntimeFilter]*builtFilter),
+		byJoin:  make(map[int][]*builtFilter),
+		byProbe: make(map[int][]*builtFilter),
+	}
+}
+
+func (fs *filterState) add(bf *builtFilter) {
+	fs.built = append(fs.built, bf)
+	fs.bySpec[bf.spec] = bf
+	fs.byJoin[bf.spec.JoinFrag] = append(fs.byJoin[bf.spec.JoinFrag], bf)
+	fs.byProbe[bf.spec.ProbeFrag] = append(fs.byProbe[bf.spec.ProbeFrag], bf)
+}
+
+// count folds one instance's per-filter probe counters into the state
+// (called at wave barriers only, in job order; sums commute, so the
+// totals are worker-count independent).
+func (fs *filterState) count(tested, pruned map[int]int64) {
+	if tested == nil && pruned == nil {
+		return
+	}
+	for _, bf := range fs.built {
+		bf.tested += tested[bf.spec.ID]
+		bf.pruned += pruned[bf.spec.ID]
+	}
+}
+
+// inject wires the frozen filters into one wave instance's exec context:
+// cached build rows for join-fragment instances, node- and sender-level
+// filters for probe-side producer instances. The wiring is a pure
+// function of logical identity (fragment ID, site), so retries and
+// replica failover see the same filters.
+func (fs *filterState) inject(j instanceJob, ectx *exec.Context, nsites int) {
+	for _, bf := range fs.byJoin[j.frag.ID] {
+		if !bf.cache {
+			continue
+		}
+		if rows, ok := bf.rows[j.site]; ok {
+			if ectx.Prebuilt == nil {
+				ectx.Prebuilt = make(map[physical.Node][]types.Row)
+			}
+			ectx.Prebuilt[bf.spec.BuildRoot] = rows
+		}
+	}
+	for _, bf := range fs.byProbe[j.frag.ID] {
+		if bf.spec.ProbeNode != nil {
+			if ectx.NodeFilters == nil {
+				ectx.NodeFilters = make(map[physical.Node][]*exec.AppliedFilter)
+			}
+			ectx.NodeFilters[bf.spec.ProbeNode] = append(ectx.NodeFilters[bf.spec.ProbeNode],
+				&exec.AppliedFilter{ID: bf.spec.ID, Cols: bf.spec.ProbeNodeCols, Filter: bf.union})
+		}
+		per := make([]*joinfilter.Filter, nsites)
+		for site, f := range bf.perSite {
+			if site < nsites {
+				per[site] = f
+			}
+		}
+		if ectx.SendFilters == nil {
+			ectx.SendFilters = make(map[int]*exec.SendFilter)
+		}
+		ectx.SendFilters[bf.spec.Exchange] = &exec.SendFilter{
+			ID: bf.spec.ID, Cols: bf.spec.ProbeCols, PerSite: per,
+		}
+	}
+}
+
+// buildKeyNull reports a build row with a NULL equi-key: the hash join
+// never matches such rows, so the filter must not admit their hash.
+func buildKeyNull(r types.Row, cols []int) bool {
+	for _, c := range cols {
+		if r[c].IsNull() {
+			return true
+		}
+	}
+	return false
 }
 
 // siteStateAt evaluates a site's condition at one instance ordinal under
@@ -371,9 +664,10 @@ func (c *Cluster) siteStateAt(site, ordinal int, dying map[int]int) siteState {
 // wave's failure set deterministic; only context cancellation stops the
 // wave early.
 func (c *Cluster) runWave(ctx context.Context, jobs []instanceJob, results []instanceResult,
-	transport *exec.Transport, workers int, workLimit float64, dying map[int]int, began time.Time) {
+	transport *exec.Transport, workers int, workLimit float64, dying map[int]int, began time.Time,
+	fs *filterState) {
 
-	run := func(i int) { c.runInstance(ctx, jobs[i], &results[i], transport, workLimit, dying, began) }
+	run := func(i int) { c.runInstance(ctx, jobs[i], &results[i], transport, workLimit, dying, began, fs) }
 
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -407,7 +701,8 @@ func (c *Cluster) runWave(ctx context.Context, jobs []instanceJob, results []ins
 // attempt sequence is a pure function of the job's identity and the fault
 // plan, so it is identical at every worker count.
 func (c *Cluster) runInstance(ctx context.Context, j instanceJob, r *instanceResult,
-	transport *exec.Transport, workLimit float64, dying map[int]int, began time.Time) {
+	transport *exec.Transport, workLimit float64, dying map[int]int, began time.Time,
+	fs *filterState) {
 
 	// span emits one trace span for an attempt of this instance. Offsets
 	// are wall-clock (outside the determinism contract); the span set and
@@ -488,7 +783,15 @@ func (c *Cluster) runInstance(ctx context.Context, j instanceJob, r *instanceRes
 			OpIDs:     j.fobs.OpIndex,
 			Obs:       obs.NewInstanceObs(j.fobs),
 		}
-		rows, err := exec.Run(j.frag.Root, ectx)
+		root := j.frag.Root
+		if j.filter != nil {
+			// Pre-pass instance: execute the filter's build subtree in
+			// place of the fragment root.
+			root = j.filter.BuildRoot
+		} else if fs != nil {
+			fs.inject(j, ectx, c.Store.Sites())
+		}
+		rows, err := exec.Run(root, ectx)
 		if err == nil && state == siteDying {
 			err = fmt.Errorf("site %d died mid-instance: %w", host, faults.ErrSiteCrash)
 		}
@@ -500,6 +803,7 @@ func (c *Cluster) runInstance(ctx context.Context, j instanceJob, r *instanceRes
 			// modeled response time.
 			r.work = ectx.CPUWork * c.Faults.Slowdown(host)
 			r.obs = ectx.Obs
+			r.ftested, r.fpruned = ectx.FilterTested, ectx.FilterPruned
 			span(host, attempt, attemptStart, obs.SpanOK, nil)
 			return
 		}

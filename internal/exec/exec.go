@@ -19,6 +19,7 @@ import (
 	"gignite/internal/cost"
 	"gignite/internal/faults"
 	"gignite/internal/fragment"
+	"gignite/internal/joinfilter"
 	"gignite/internal/obs"
 	"gignite/internal/physical"
 	"gignite/internal/storage"
@@ -49,7 +50,40 @@ type Transport struct {
 	// FailSend, when set, is consulted before every shipment; a non-nil
 	// return fails the send (the cluster wires the fault injector here).
 	FailSend func(exchange, toSite int, b *Batch) error
+	// scratch pools hash senders' per-call routing buffers. Batch row
+	// slices themselves are retained by the transport until the query
+	// finishes, so only the transient routing state is poolable.
+	scratch sync.Pool
 }
+
+// sendScratch is the reusable per-call state of one hash-routing send:
+// the per-row route assignments and the per-site row counts.
+type sendScratch struct {
+	routes []int
+	counts []int
+}
+
+// getScratch borrows a routing buffer sized for rows×sites.
+func (t *Transport) getScratch(rows, sites int) *sendScratch {
+	sc, _ := t.scratch.Get().(*sendScratch)
+	if sc == nil {
+		sc = &sendScratch{}
+	}
+	if cap(sc.routes) < rows {
+		sc.routes = make([]int, rows)
+	}
+	sc.routes = sc.routes[:rows]
+	if cap(sc.counts) < sites {
+		sc.counts = make([]int, sites)
+	}
+	sc.counts = sc.counts[:sites]
+	for i := range sc.counts {
+		sc.counts[i] = 0
+	}
+	return sc
+}
+
+func (t *Transport) putScratch(sc *sendScratch) { t.scratch.Put(sc) }
 
 // SendRecord is the cost-clock view of one shipment.
 type SendRecord struct {
@@ -198,6 +232,83 @@ type Context struct {
 	// attributes modeled work to the operator that charged it (self work,
 	// children excluded).
 	opStack []int
+
+	// --- runtime join filters (DESIGN.md §13) ---
+
+	// Prebuilt maps a hash join's build-side root to the rows the filter
+	// pre-pass already computed at this instance's logical site; runNode
+	// returns them instead of re-executing the subtree (work and operator
+	// stats for the build were recorded by the pre-pass instance).
+	Prebuilt map[physical.Node][]types.Row
+	// NodeFilters maps producer-fragment operators to the runtime filters
+	// applied at their output (scan-level pushdown, union filter).
+	NodeFilters map[physical.Node][]*AppliedFilter
+	// SendFilters maps exchange IDs to the per-destination-site filters
+	// the Sender tests rows against before batching them.
+	SendFilters map[int]*SendFilter
+	// FilterTested/FilterPruned aggregate per-filter probe counts for the
+	// query's FilterObs records (keyed by filter ID).
+	FilterTested map[int]int64
+	FilterPruned map[int]int64
+}
+
+// AppliedFilter is one node-level runtime-filter application: rows whose
+// key hash fails the filter are dropped from the node's output. The union
+// filter is used because a node-level row may still route to any site.
+type AppliedFilter struct {
+	ID     int
+	Cols   []int
+	Filter *joinfilter.Filter
+}
+
+// SendFilter is the sender-level application: each destination site gets
+// the filter built from that site's hash-join build partition, which is
+// far more selective than the union (a probe row only matches the build
+// rows co-located with it).
+type SendFilter struct {
+	ID   int
+	Cols []int
+	// PerSite is indexed by destination site; nil entries pass all rows.
+	PerSite []*joinfilter.Filter
+}
+
+// countFilter records one filter application's probe counts.
+func (c *Context) countFilter(id int, tested, pruned int64) {
+	if c.FilterTested == nil {
+		c.FilterTested = make(map[int]int64)
+		c.FilterPruned = make(map[int]int64)
+	}
+	c.FilterTested[id] += tested
+	c.FilterPruned[id] += pruned
+}
+
+// testRow evaluates one row against a filter: rows with NULL keys can
+// never equi-match and are pruned outright.
+func filterTestRow(f *joinfilter.Filter, cols []int, r types.Row) bool {
+	if rowHasNullKey(r, cols) {
+		return false
+	}
+	return f.Test(r.Hash(cols))
+}
+
+// applyNodeFilters drops rows failing any of the node's runtime filters,
+// charging test work and recording pruned counts inside the node's open
+// operator frame.
+func (c *Context) applyNodeFilters(n physical.Node, afs []*AppliedFilter, rows []types.Row) []types.Row {
+	for _, af := range afs {
+		c.work(float64(len(rows)) * cost.BFTC)
+		kept := make([]types.Row, 0, len(rows))
+		for _, r := range rows {
+			if filterTestRow(af.Filter, af.Cols, r) {
+				kept = append(kept, r)
+			}
+		}
+		pruned := int64(len(rows) - len(kept))
+		c.countFilter(af.ID, int64(len(rows)), pruned)
+		c.opstat(n).addPruned(pruned)
+		rows = kept
+	}
+	return rows
 }
 
 // ErrWorkLimit reports an execution exceeding its work limit.
@@ -284,6 +395,12 @@ func (o *OpStatsRef) addBuild(n int64) {
 	}
 }
 
+func (o *OpStatsRef) addPruned(n int64) {
+	if o != nil {
+		o.RowsPruned += n
+	}
+}
+
 // overLimit reports whether the instance has exceeded its work budget.
 func (c *Context) overLimit() bool {
 	return c.WorkLimit > 0 && c.CPUWork > c.WorkLimit
@@ -363,8 +480,22 @@ func runInstance(n physical.Node, ctx *Context) ([]types.Row, error) {
 // observability frame: output rows, wall time and self modeled work are
 // recorded per operator (see Context.openOp).
 func runNode(n physical.Node, ctx *Context) ([]types.Row, error) {
+	// A subtree the runtime-filter pre-pass already executed at this
+	// logical site is served from the cache: its work and operator stats
+	// were charged by the pre-pass instance, so re-recording them here
+	// would double-count.
+	if ctx.Prebuilt != nil {
+		if rows, ok := ctx.Prebuilt[n]; ok {
+			return rows, nil
+		}
+	}
 	f := ctx.openOp(n)
 	rows, err := execNode(n, ctx)
+	if err == nil && ctx.NodeFilters != nil {
+		if afs, ok := ctx.NodeFilters[n]; ok {
+			rows = ctx.applyNodeFilters(n, afs, rows)
+		}
+	}
 	ctx.closeOp(f, rows)
 	return rows, err
 }
@@ -426,6 +557,11 @@ func execNode(n physical.Node, ctx *Context) ([]types.Row, error) {
 		ctx.work(float64(len(in)) * cost.RPTC * float64(len(t.Exprs)))
 		out := make([]types.Row, len(in))
 		for i, r := range in {
+			if i%4096 == 4095 {
+				if err := ctx.cancelled(); err != nil {
+					return nil, err
+				}
+			}
 			row := make(types.Row, len(t.Exprs))
 			for j, e := range t.Exprs {
 				row[j] = e.Eval(r)
@@ -447,9 +583,9 @@ func execNode(n physical.Node, ctx *Context) ([]types.Row, error) {
 		}
 		out := make([]types.Row, len(in))
 		copy(out, in)
-		sort.SliceStable(out, func(a, b int) bool {
-			return types.CompareRows(out[a], out[b], t.Keys) < 0
-		})
+		if err := sortRowsCancellable(out, t.Keys, ctx); err != nil {
+			return nil, err
+		}
 		return out, nil
 
 	case *physical.Limit:
@@ -515,21 +651,67 @@ func sendRows(s *physical.Sender, rows []types.Row, ctx *Context) error {
 			Bytes: bytes, Sorted: s.Collation(),
 		}
 	}
+	var sf *SendFilter
+	if ctx.SendFilters != nil {
+		sf = ctx.SendFilters[s.ExchangeID]
+	}
 	ctx.work(float64(len(rows)) * cost.RPTC)
 	switch s.Target.Type {
 	case physical.Single:
-		return ctx.Transport.Send(s.ExchangeID, 0, mk(rows))
+		out := rows
+		if sf != nil {
+			out = ctx.filterToSite(s, sf, rows, 0)
+		}
+		return ctx.Transport.Send(s.ExchangeID, 0, mk(out))
 	case physical.Broadcast:
 		for site := 0; site < sites; site++ {
-			if err := ctx.Transport.Send(s.ExchangeID, site, mk(rows)); err != nil {
+			out := rows
+			if sf != nil {
+				// Each destination's copy is pruned against that site's
+				// build filter independently: a broadcast row only needs to
+				// reach the sites whose build partition could match it.
+				out = ctx.filterToSite(s, sf, rows, site)
+			}
+			if err := ctx.Transport.Send(s.ExchangeID, site, mk(out)); err != nil {
 				return err
 			}
 		}
 	case physical.Hash:
-		buckets := make([][]types.Row, sites)
-		for _, r := range rows {
+		// Two-pass routing over a pooled scratch: compute every row's
+		// destination (and filter verdict) once, then carve exact-size
+		// per-site slices out of one backing array. This keeps the hot
+		// send path free of append-growth reallocations.
+		sc := ctx.Transport.getScratch(len(rows), sites)
+		defer ctx.Transport.putScratch(sc)
+		var pruned int64
+		for i, r := range rows {
 			site := routeRow(r, s.Target.Keys, sites)
-			buckets[site] = append(buckets[site], r)
+			if sf != nil {
+				if siteF := sf.PerSite[site]; !filterTestRow(siteF, sf.Cols, r) {
+					sc.routes[i] = -1
+					pruned++
+					continue
+				}
+			}
+			sc.routes[i] = site
+			sc.counts[site]++
+		}
+		if sf != nil {
+			ctx.work(float64(len(rows)) * cost.BFTC)
+			ctx.countFilter(sf.ID, int64(len(rows)), pruned)
+			ctx.opstat(s).addPruned(pruned)
+		}
+		backing := make([]types.Row, len(rows)-int(pruned))
+		buckets := make([][]types.Row, sites)
+		off := 0
+		for site, n := range sc.counts {
+			buckets[site] = backing[off : off : off+n]
+			off += n
+		}
+		for i, r := range rows {
+			if site := sc.routes[i]; site >= 0 {
+				buckets[site] = append(buckets[site], r)
+			}
 		}
 		for site, b := range buckets {
 			if err := ctx.Transport.Send(s.ExchangeID, site, mk(b)); err != nil {
@@ -538,6 +720,24 @@ func sendRows(s *physical.Sender, rows []types.Row, ctx *Context) error {
 		}
 	}
 	return nil
+}
+
+// filterToSite returns the rows passing one destination site's runtime
+// filter, charging test work and recording pruned counts against the
+// sender's operator slot.
+func (c *Context) filterToSite(s *physical.Sender, sf *SendFilter, rows []types.Row, site int) []types.Row {
+	f := sf.PerSite[site]
+	c.work(float64(len(rows)) * cost.BFTC)
+	out := make([]types.Row, 0, len(rows))
+	for _, r := range rows {
+		if filterTestRow(f, sf.Cols, r) {
+			out = append(out, r)
+		}
+	}
+	pruned := int64(len(rows) - len(out))
+	c.countFilter(sf.ID, int64(len(rows)), pruned)
+	c.opstat(s).addPruned(pruned)
+	return out
 }
 
 // routeRow picks the target partition for a row under a hash target. A
@@ -587,9 +787,9 @@ func runReceiver(r *physical.Receiver, ctx *Context) ([]types.Row, error) {
 		// but the cost clock charges what a real loser-tree merge costs:
 		// one comparison per row.
 		ctx.work(float64(total) * cost.RCC)
-		sort.SliceStable(out, func(a, b int) bool {
-			return types.CompareRows(out[a], out[b], r.MergeKeys) < 0
-		})
+		if err := sortRowsCancellable(out, r.MergeKeys, ctx); err != nil {
+			return nil, err
+		}
 	}
 	return ctx.sourceRows(r, out), nil
 }

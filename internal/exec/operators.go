@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 
 	"gignite/internal/cost"
 	"gignite/internal/expr"
@@ -121,6 +122,38 @@ func runSortAggregate(groupBy []int, aggs []expr.AggCall, in []types.Row, ctx *C
 	}
 	flush()
 	return out, nil
+}
+
+// sortCancelled is the sentinel panic that aborts a sort comparator when
+// the query is cancelled mid-sort.
+type sortCancelled struct{ err error }
+
+// sortRowsCancellable stably sorts rows under keys, observing the query's
+// cancellation signal every 64Ki comparisons. A comparator cannot return
+// early, so the abort travels out of sort.SliceStable as a sentinel panic
+// recovered here; big sorts stop promptly instead of running to
+// completion after a deadline fires.
+func sortRowsCancellable(rows []types.Row, keys []types.SortKey, ctx *Context) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			sc, ok := p.(sortCancelled)
+			if !ok {
+				panic(p)
+			}
+			err = sc.err
+		}
+	}()
+	cmps := 0
+	sort.SliceStable(rows, func(a, b int) bool {
+		cmps++
+		if cmps&0xFFFF == 0 {
+			if cerr := ctx.cancelled(); cerr != nil {
+				panic(sortCancelled{err: cerr})
+			}
+		}
+		return types.CompareRows(rows[a], rows[b], keys) < 0
+	})
+	return nil
 }
 
 // runJoin dispatches on the physical algorithm.
@@ -254,7 +287,12 @@ func runHashJoin(j *physical.Join, left, right []types.Row, ctx *Context) ([]typ
 		rightCols[i] = k.Right
 	}
 	table := make(map[uint64][]types.Row, len(right))
-	for _, r := range right {
+	for i, r := range right {
+		if i%4096 == 4095 {
+			if err := ctx.cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		if rowHasNullKey(r, rightCols) {
 			continue
 		}
@@ -270,7 +308,12 @@ func runHashJoin(j *physical.Join, left, right []types.Row, ctx *Context) ([]typ
 	// Equi-joins on key-ish columns emit about one row per probe row.
 	out := make([]types.Row, 0, len(left))
 	guard := &emitGuard{ctx: ctx}
-	for _, l := range left {
+	for i, l := range left {
+		if i%4096 == 4095 {
+			if err := ctx.cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		matched := false
 		if !rowHasNullKey(l, leftCols) {
 			h := l.Hash(leftCols)
@@ -361,6 +404,11 @@ func runMergeJoin(j *physical.Join, left, right []types.Row, ctx *Context) ([]ty
 	}
 	li, ri := 0, 0
 	for li < len(left) {
+		if li%4096 == 4095 {
+			if err := ctx.cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		l := left[li]
 		if rowHasNullKey(l, leftCols) {
 			emitUnmatched(l)
@@ -370,6 +418,11 @@ func runMergeJoin(j *physical.Join, left, right []types.Row, ctx *Context) ([]ty
 		// Advance the right side to the first candidate.
 		for ri < len(right) && (rowHasNullKey(right[ri], rightCols) || cmp(l, right[ri]) > 0) {
 			ri++
+			if ri%4096 == 4095 {
+				if err := ctx.cancelled(); err != nil {
+					return nil, err
+				}
+			}
 		}
 		if ri >= len(right) || cmp(l, right[ri]) < 0 {
 			emitUnmatched(l)

@@ -32,6 +32,9 @@ type Plan struct {
 	Fragments []*Fragment
 	// Producer maps an exchange ID to the fragment that feeds it.
 	Producer map[int]*Fragment
+	// Filters lists the plan's runtime join-filter edges (DESIGN.md §13),
+	// populated by PlanRuntimeFilters when Config.RuntimeFilters is on.
+	Filters []*physical.RuntimeFilter
 }
 
 // Split implements Algorithm 1: walking the tree depth-first, every
@@ -163,6 +166,87 @@ func (p *Plan) Waves() ([][]*Fragment, error) {
 		waves[d] = append(waves[d], f)
 	}
 	return waves, nil
+}
+
+// PlanRuntimeFilters discovers the plan's runtime join-filter edges and
+// records them in p.Filters (DESIGN.md §13). A hash join is eligible when
+//
+//   - its semantics admit probe pruning (inner or semi, with equi keys),
+//   - its build (right) subtree is receiver-free, so a pre-pass can
+//     execute it at the join's sites before wave 0,
+//   - the build subtree applies at least one predicate (a bare-scan build
+//     is a foreign-key target whose filter would prune nothing), and
+//   - its probe (left) input reaches a Receiver through a single-parent
+//     chain of column-transparent operators, and that receiver's exchange
+//     has exactly one consuming fragment.
+//
+// For each eligible join, the producer fragment's sender is annotated as
+// the pruning point, plus the deepest transparent operator below it
+// (scan-level pushdown) when the key columns survive the descent.
+func PlanRuntimeFilters(p *Plan) {
+	// consumers[ex] counts fragments reading the exchange; a shared
+	// broadcast subtree may have several, and pruning rows for one join
+	// would starve the others.
+	consumers := make(map[int]int)
+	for _, f := range p.Fragments {
+		for _, ex := range f.Receivers {
+			consumers[ex]++
+		}
+	}
+	for _, f := range p.Fragments {
+		parents := physical.ParentCounts(f.Root)
+		seen := make(map[physical.Node]bool)
+		physical.Walk(f.Root, func(n physical.Node) bool {
+			if seen[n] {
+				return false
+			}
+			seen[n] = true
+			j, ok := n.(*physical.Join)
+			if !ok || !physical.FilterableJoin(j) {
+				return true
+			}
+			build := j.Inputs()[1]
+			if !physical.SubtreeLocal(build) || !physical.SubtreeSelective(build) {
+				return true
+			}
+			rv, probeCols := physical.ResolveProbeChain(j, parents)
+			if rv == nil || consumers[rv.ExchangeID] != 1 {
+				return true
+			}
+			prod := p.Producer[rv.ExchangeID]
+			if prod == nil || prod.ID == f.ID {
+				return true
+			}
+			buildCols := make([]int, len(j.Keys))
+			for i, k := range j.Keys {
+				buildCols[i] = k.Right
+			}
+			rf := &physical.RuntimeFilter{
+				ID:        len(p.Filters),
+				JoinFrag:  f.ID,
+				Join:      j,
+				BuildRoot: build,
+				BuildCols: buildCols,
+				ProbeFrag: prod.ID,
+				Exchange:  rv.ExchangeID,
+				Receiver:  rv,
+				ProbeCols: probeCols,
+			}
+			prodParents := physical.ParentCounts(prod.Root)
+			target, targetCols := physical.PushdownTarget(prod.Root.Inputs()[0], probeCols, prodParents)
+			// A node-level filter below the sender is only worthwhile when
+			// the descent moved past at least the sender's child; applying
+			// at the sender child's output would duplicate the send-stage
+			// test. It stays valid at any depth, so keep it whenever the
+			// target differs from the sender itself.
+			if target != nil {
+				rf.ProbeNode = target
+				rf.ProbeNodeCols = targetCols
+			}
+			p.Filters = append(p.Filters, rf)
+			return true
+		})
+	}
 }
 
 // SourceMode is how a source operator behaves inside a variant fragment

@@ -92,6 +92,10 @@ type Env struct {
 	// Timeout is an optional per-query wall-clock deadline
 	// (Config.QueryTimeout); 0 means none.
 	Timeout time.Duration
+	// Filters enables runtime join-filter pushdown (Config.RuntimeFilters)
+	// for every engine the Env opens. It is part of the engine cache key,
+	// so one Env can hold filters-on and filters-off engines side by side.
+	Filters bool
 
 	mu      sync.Mutex
 	engines map[string]*gignite.Engine
@@ -102,7 +106,7 @@ func NewEnv() *Env { return &Env{engines: make(map[string]*gignite.Engine)} }
 
 // Engine returns (loading on first use) the engine for a combination.
 func (env *Env) Engine(w Workload, sys System, sites int, sf float64) (*gignite.Engine, error) {
-	key := fmt.Sprintf("%s/%s/%d/%g", w, sys, sites, sf)
+	key := fmt.Sprintf("%s/%s/%d/%g/filters=%t", w, sys, sites, sf, env.Filters)
 	env.mu.Lock()
 	defer env.mu.Unlock()
 	if e, ok := env.engines[key]; ok {
@@ -113,6 +117,7 @@ func (env *Env) Engine(w Workload, sys System, sites int, sf float64) (*gignite.
 	cfg.Backups = env.Backups
 	cfg.Faults = env.Faults
 	cfg.QueryTimeout = env.Timeout
+	cfg.RuntimeFilters = env.Filters
 	e := gignite.Open(cfg)
 	var err error
 	if w == SSB {

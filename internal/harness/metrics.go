@@ -41,17 +41,22 @@ type OperatorMetrics struct {
 
 // QueryMetrics is the observability record of one benchmark query run.
 type QueryMetrics struct {
-	Label       string            `json:"label"`
-	PlanDigest  string            `json:"plan_digest"`
-	ModeledSecs float64           `json:"modeled_seconds"`
-	WallSecs    float64           `json:"wall_seconds"`
-	Rows        int               `json:"rows"`
-	Work        float64           `json:"work"`
-	Bytes       float64           `json:"bytes_shipped"`
-	Instances   int               `json:"instances"`
-	Retries     int               `json:"retries"`
-	Spans       int               `json:"spans"`
-	Operators   []OperatorMetrics `json:"operators"`
+	Label       string  `json:"label"`
+	PlanDigest  string  `json:"plan_digest"`
+	ModeledSecs float64 `json:"modeled_seconds"`
+	WallSecs    float64 `json:"wall_seconds"`
+	Rows        int     `json:"rows"`
+	Work        float64 `json:"work"`
+	Bytes       float64 `json:"bytes_shipped"`
+	Instances   int     `json:"instances"`
+	Retries     int     `json:"retries"`
+	Spans       int     `json:"spans"`
+	// Runtime join-filter telemetry (zero when Config.RuntimeFilters is
+	// off or the plan carries no filter edges).
+	FiltersBuilt int               `json:"filters_built,omitempty"`
+	FilterBytes  int64             `json:"filter_bytes,omitempty"`
+	RowsPruned   int64             `json:"rows_pruned,omitempty"`
+	Operators    []OperatorMetrics `json:"operators"`
 }
 
 // MetricsFile is the top-level -metrics JSON document (see MetricsSchema).
@@ -68,14 +73,17 @@ type MetricsFile struct {
 // queryMetrics flattens one Result's observation record.
 func queryMetrics(label string, res *gignite.Result) QueryMetrics {
 	qm := QueryMetrics{
-		Label:       label,
-		ModeledSecs: res.Stats.Modeled.Seconds(),
-		Rows:        len(res.Rows),
-		Work:        res.Stats.Work,
-		Bytes:       res.Stats.BytesShipped,
-		Instances:   res.Stats.Instances,
-		Retries:     res.Stats.Retries,
-		Spans:       res.Stats.Spans,
+		Label:        label,
+		ModeledSecs:  res.Stats.Modeled.Seconds(),
+		Rows:         len(res.Rows),
+		Work:         res.Stats.Work,
+		Bytes:        res.Stats.BytesShipped,
+		Instances:    res.Stats.Instances,
+		Retries:      res.Stats.Retries,
+		Spans:        res.Stats.Spans,
+		FiltersBuilt: res.Stats.FiltersBuilt,
+		FilterBytes:  res.Stats.FilterBytes,
+		RowsPruned:   res.Stats.RowsPruned,
 	}
 	q := res.Obs
 	if q == nil {

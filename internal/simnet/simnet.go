@@ -89,6 +89,22 @@ type Retry struct {
 	Bytes float64
 }
 
+// FilterBuild is one site's share of a runtime join filter (DESIGN.md
+// §13): the pre-pass ran the join's build subtree at Site before wave 0,
+// spent Work units constructing the key filter, and shipped Bytes of
+// filter state to the probe-side producer. Probe-side sends over Exchange
+// are released only after every site's filter arrived, which is how the
+// clock charges the rendezvous: the build runs off the critical path
+// (it starts at t=0, overlapped with the producers), but pruned shipments
+// cannot leave earlier than the filter handoff.
+type FilterBuild struct {
+	Exchange int
+	JoinFrag int
+	Site     int
+	Work     float64
+	Bytes    float64
+}
+
 // Trace is the execution record the clock consumes.
 type Trace struct {
 	// Order lists fragment IDs in dependency order (producers first).
@@ -104,6 +120,9 @@ type Trace struct {
 	// normally has one consumer, but an optimizer-shared subtree can give
 	// it several; each consumer's start then waits on the arrival.
 	Consumers map[int][]int
+	// Filters records runtime join-filter builds; sends over a filtered
+	// exchange are floored at the filter's ready time.
+	Filters []FilterBuild
 	// RootFrag is the fragment whose finish time is the query time.
 	RootFrag int
 }
@@ -133,6 +152,20 @@ func Makespan(tr *Trace, p Params) time.Duration {
 		recovery[instKey{r.Frag, r.Site, r.Variant}] += pen
 	}
 
+	// A runtime filter's ready time: its build subtrees run from t=0 at
+	// the join's sites (the pre-pass), then the filter state crosses the
+	// network to the probe-side producer. Sends over the guarded exchange
+	// are floored at this time — the producer may compute concurrently,
+	// but pruned rows cannot leave before the filter arrived.
+	filterReady := make(map[int]float64)
+	for _, fb := range tr.Filters {
+		t := p.ThreadOverheadSec + fb.Work/p.WorkPerSec*load +
+			p.LatencySec + fb.Bytes/p.BytesPerSec
+		if t > filterReady[fb.Exchange] {
+			filterReady[fb.Exchange] = t
+		}
+	}
+
 	// Index sends by (consumer fragment, site).
 	type edgeKey struct{ frag, site int }
 	arrivals := make(map[edgeKey][]Send)
@@ -155,6 +188,9 @@ func Makespan(tr *Trace, p Params) time.Duration {
 			ready := 0.0
 			for _, s := range arrivals[edgeKey{fid, in.Site}] {
 				sf := finish[instKey{s.FromFrag, s.FromSite, s.FromVariant}]
+				if fl := filterReady[s.Exchange]; fl > sf {
+					sf = fl
+				}
 				arr := sf + p.LatencySec + s.Bytes/p.BytesPerSec
 				if arr > ready {
 					ready = arr
@@ -189,6 +225,9 @@ func (tr *Trace) TotalWork() float64 {
 	for _, r := range tr.Retries {
 		w += r.Work
 	}
+	for _, fb := range tr.Filters {
+		w += fb.Work
+	}
 	return w
 }
 
@@ -201,6 +240,11 @@ func (tr *Trace) TotalBytes() float64 {
 	}
 	for _, r := range tr.Retries {
 		b += r.Bytes
+	}
+	// Filter state is real network volume too (it is what makes oversized
+	// filters a net loss).
+	for _, fb := range tr.Filters {
+		b += fb.Bytes
 	}
 	return b
 }
