@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench chaos ci
+.PHONY: build test race vet bench chaos overload ci
 
 build:
 	$(GO) build ./...
@@ -28,5 +28,12 @@ bench:
 # shake out scheduling-dependent behaviour.
 chaos:
 	$(GO) test -race -count=2 -run 'TestChaos' .
+
+# The resource-governance smoke check (DESIGN.md §14): admission sheds
+# with ErrOverloaded only, queued queries drain with identical rows, and
+# hedged straggler attempts cut the modeled makespan. Exits non-zero on
+# any violation.
+overload:
+	$(GO) run ./cmd/benchrunner -exp overload -sf 0.005 -sites 4 -metrics overload-metrics.json
 
 ci: vet race

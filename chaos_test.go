@@ -98,6 +98,11 @@ func TestChaosFaultPlans(t *testing.T) {
 		{"flaky transport", "seed=2;sendfail=0.1", 1, true, false},
 		// Compound: a crash plus a 2x-slow surviving site.
 		{"crash with slow survivor", "seed=5;crash=3@1;slow=1x2.0", 1, true, true},
+		// Everything at once, including a shrunken memory pool on site 0:
+		// instances whose estimated operator state overflows 64KiB there
+		// abort with ErrSiteMem and fail over to their backup replica.
+		{"full fault matrix with site memory pressure",
+			"seed=6;slow=1x4;crash=2@3;sendfail=0.05;mem=0@65536", 1, true, true},
 	}
 	for _, sc := range scenarios {
 		t.Run(sc.name, func(t *testing.T) {

@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	benchrunner -exp fig7|fig8|fig9|fig10|fig11|table3|failures|ablate|obs|filters|all
+//	benchrunner -exp fig7|fig8|fig9|fig10|fig11|table3|failures|ablate|obs|filters|overload|all
 //	            [-sf 0.005,0.01] [-sites 4,8] [-par 0]
 //	            [-backups 0] [-faults SPEC] [-timeout 0] [-filters]
 //	            [-system ic+m] [-queries 1,3] [-metrics FILE] [-trace FILE]
+//	            [-admission 2] [-clients 8] [-maxmem 0] [-querymem 0] [-hedge 2]
 //
 // The obs experiment runs the selected TPC-H queries once on one system
 // and emits observability artifacts: -metrics writes the per-query and
@@ -15,6 +16,15 @@
 // Perfetto or chrome://tracing). benchrunner exits non-zero when the
 // estimate-vs-actual operator report comes back empty — the CI
 // observability smoke job relies on that.
+//
+// The overload experiment is the resource-governance smoke check
+// (DESIGN.md §14): concurrent clients race TPC-H queries into an engine
+// whose memory pool holds about two queries. Shed queries must carry
+// ErrOverloaded, admitted queries must return rows byte-identical to the
+// ungoverned run, a patient queue must drain completely, and hedged
+// straggler attempts must cut the modeled makespan with one slow site.
+// It exits non-zero on any violation — the CI overload-smoke job relies
+// on that.
 //
 // The filters experiment is the runtime join-filter smoke check
 // (DESIGN.md §13): it runs Q3/Q5/Q10 with filters off and on against the
@@ -42,6 +52,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -56,7 +67,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table3, failures, ablate, scaling, obs, filters, all")
+	exp := flag.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table3, failures, ablate, scaling, obs, filters, overload, all")
 	sfs := flag.String("sf", "0.005,0.01", "comma-separated scale factors")
 	sites := flag.String("sites", "4,8", "comma-separated site counts")
 	par := flag.Int("par", 0, "host execution parallelism: 0 = GOMAXPROCS, 1 = sequential")
@@ -66,8 +77,13 @@ func main() {
 	filters := flag.Bool("filters", false, "enable runtime join-filter pushdown")
 	system := flag.String("system", "ic+m", "obs experiment: system variant (ic, ic+, ic+m)")
 	queries := flag.String("queries", "", "obs experiment: comma-separated TPC-H query ids (empty = paper set)")
-	metricsOut := flag.String("metrics", "", "obs experiment: write the metrics JSON to this file")
+	metricsOut := flag.String("metrics", "", "obs/overload experiment: write the metrics JSON to this file")
 	traceOut := flag.String("trace", "", "obs experiment: write Chrome trace_event JSON to this file")
+	admission := flag.Int("admission", 2, "overload experiment: max concurrently admitted queries")
+	clients := flag.Int("clients", 8, "overload experiment: concurrent client goroutines")
+	maxmem := flag.Int64("maxmem", 0, "overload experiment: engine memory pool in bytes (0 = auto-size to ~2 queries)")
+	querymem := flag.Int64("querymem", 0, "overload experiment: per-query memory budget in bytes (0 = unlimited)")
+	hedge := flag.Float64("hedge", 2, "overload experiment: hedge factor over the wave median")
 	flag.Parse()
 
 	plan, err := gignite.ParseFaults(*faultSpec)
@@ -102,6 +118,10 @@ func main() {
 	}
 	if *exp == "filters" {
 		runFilters(opts, *queries)
+		return
+	}
+	if *exp == "overload" {
+		runOverload(opts, *admission, *clients, *maxmem, *querymem, *hedge, *metricsOut)
 		return
 	}
 
@@ -263,6 +283,205 @@ func runFilters(opts harness.Options, queryList string) {
 				base.Stats.BytesShipped, res.Stats.BytesShipped)
 			failed = true
 		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runOverload is the resource-governance smoke check (DESIGN.md §14). It
+// drives three phases and exits non-zero on any violation:
+//
+//	A (shed): `clients` goroutines race TPC-H queries into an engine that
+//	  admits `admission` at a time over a memory pool sized for about two
+//	  queries, with a short admission timeout. Every rejection must be
+//	  ErrOverloaded, at least one query must get through, and every
+//	  admitted result must be byte-identical to the ungoverned run. No
+//	  query may crash or hang.
+//	B (queue): same offered load with a generous admission timeout — every
+//	  query must queue, admit and return identical rows.
+//	C (hedge): one site slowed 8x with a backup replica: hedging must cut
+//	  the modeled makespan versus waiting the straggler out, win at least
+//	  one race, and leave the rows byte-identical.
+func runOverload(opts harness.Options, admission, clients int, maxmem, querymem int64, hedge float64, metricsOut string) {
+	sf := opts.SFs[0]
+	sites := opts.Sites[0]
+	ids := []int{1, 3}
+
+	open := func(mut func(*gignite.Config)) *gignite.Engine {
+		cfg := harness.ConfigFor(harness.ICPlus, sites, sf)
+		cfg.ExecParallelism = opts.Env.Parallelism
+		mut(&cfg)
+		e := gignite.Open(cfg)
+		if err := tpch.Setup(e, sf); err != nil {
+			fatalf("overload: %v", err)
+		}
+		return e
+	}
+
+	// Reference run: an effectively ungoverned engine (the huge per-query
+	// budget only turns memory accounting on) provides the expected rows
+	// and the per-query peaks used to size the shared pool.
+	ref := open(func(cfg *gignite.Config) { cfg.QueryMemLimitBytes = 1 << 40 })
+	want := make(map[int]string)
+	var maxPeak int64
+	for _, id := range ids {
+		res, err := ref.Query(tpch.QueryByID(id).SQL)
+		if err != nil {
+			fatalf("overload: reference Q%d: %v", id, err)
+		}
+		want[id] = rowsText(res.Rows)
+		if res.Stats.MemPeakBytes > maxPeak {
+			maxPeak = res.Stats.MemPeakBytes
+		}
+	}
+	pool := maxmem
+	if pool == 0 {
+		// Room for about two in-flight queries' estimated operator state.
+		pool = 2*maxPeak + 1<<20
+	}
+	fmt.Printf("overload smoke: IC+ sf=%g sites=%d admission=%d clients=%d pool=%d bytes (max query peak %d)\n",
+		sf, sites, admission, clients, pool, maxPeak)
+
+	// offered load: client i runs one TPC-H query against e; returns are
+	// collected so crashes surface as test failure, not a lost goroutine.
+	race := func(e *gignite.Engine) (succ, shed int, errs []error) {
+		type outcome struct {
+			id   int
+			rows string
+			err  error
+		}
+		out := make(chan outcome, clients)
+		for i := 0; i < clients; i++ {
+			go func(i int) {
+				id := ids[i%len(ids)]
+				res, err := e.Query(tpch.QueryByID(id).SQL)
+				if err != nil {
+					out <- outcome{id: id, err: err}
+					return
+				}
+				out <- outcome{id: id, rows: rowsText(res.Rows)}
+			}(i)
+		}
+		for i := 0; i < clients; i++ {
+			o := <-out
+			switch {
+			case o.err == nil:
+				succ++
+				if o.rows != want[o.id] {
+					errs = append(errs, fmt.Errorf("admitted Q%d rows differ from the ungoverned run", o.id))
+				}
+			case errors.Is(o.err, gignite.ErrOverloaded):
+				shed++
+			default:
+				errs = append(errs, fmt.Errorf("Q%d failed outside the shed taxonomy: %w", o.id, o.err))
+			}
+		}
+		return succ, shed, errs
+	}
+
+	failed := false
+	report := func(phase string, errs []error) {
+		for _, err := range errs {
+			fmt.Fprintf(os.Stderr, "benchrunner: overload: phase %s: %v\n", phase, err)
+			failed = true
+		}
+	}
+
+	// Phase A: short admission timeout — excess load sheds cleanly.
+	govA := open(func(cfg *gignite.Config) {
+		cfg.MaxConcurrentQueries = admission
+		cfg.MemoryBudgetBytes = pool
+		cfg.QueryMemLimitBytes = querymem
+		cfg.AdmissionTimeout = 50 * time.Millisecond
+	})
+	succ, shed, errs := race(govA)
+	report("A", errs)
+	if succ == 0 {
+		fmt.Fprintln(os.Stderr, "benchrunner: overload: phase A admitted nothing")
+		failed = true
+	}
+	fmt.Printf("phase A (shed):  %d/%d admitted, %d shed with ErrOverloaded\n", succ, clients, shed)
+
+	// Phase B: generous timeout — the queue drains and everyone succeeds.
+	govB := open(func(cfg *gignite.Config) {
+		cfg.MaxConcurrentQueries = admission
+		cfg.MemoryBudgetBytes = pool
+		cfg.QueryMemLimitBytes = querymem
+		cfg.AdmissionTimeout = 60 * time.Second
+	})
+	succ, shed, errs = race(govB)
+	report("B", errs)
+	if succ != clients {
+		fmt.Fprintf(os.Stderr, "benchrunner: overload: phase B: %d/%d admitted (%d shed); all must queue and succeed\n",
+			succ, clients, shed)
+		failed = true
+	}
+	fmt.Printf("phase B (queue): %d/%d admitted through the FIFO queue\n", succ, clients)
+
+	// Phase C: straggler hedging on the modeled clock.
+	slowPlan, err := gignite.ParseFaults("slow=1x8")
+	if err != nil {
+		fatalf("overload: %v", err)
+	}
+	waitOut := open(func(cfg *gignite.Config) {
+		cfg.Backups = 1
+		cfg.Faults = slowPlan
+	})
+	hedged := open(func(cfg *gignite.Config) {
+		cfg.Backups = 1
+		cfg.Faults = slowPlan
+		cfg.HedgeAfter = hedge
+	})
+	var modeledBase, modeledHedge time.Duration
+	hedgesWon := 0
+	for _, id := range ids {
+		base, err := waitOut.Query(tpch.QueryByID(id).SQL)
+		if err != nil {
+			fatalf("overload: phase C baseline Q%d: %v", id, err)
+		}
+		res, err := hedged.Query(tpch.QueryByID(id).SQL)
+		if err != nil {
+			fatalf("overload: phase C hedged Q%d: %v", id, err)
+		}
+		if rowsText(res.Rows) != rowsText(base.Rows) {
+			fmt.Fprintf(os.Stderr, "benchrunner: overload: phase C: Q%d rows differ with hedging on\n", id)
+			failed = true
+		}
+		modeledBase += base.Modeled
+		modeledHedge += res.Modeled
+		hedgesWon += res.Stats.HedgesWon
+	}
+	if hedgesWon < 1 {
+		fmt.Fprintln(os.Stderr, "benchrunner: overload: phase C: no hedge won its race")
+		failed = true
+	}
+	if modeledHedge >= modeledBase {
+		fmt.Fprintf(os.Stderr, "benchrunner: overload: phase C: hedging did not cut the modeled makespan (%v vs %v)\n",
+			modeledHedge, modeledBase)
+		failed = true
+	}
+	fmt.Printf("phase C (hedge): modeled %v -> %v, %d hedge race(s) won\n",
+		modeledBase.Round(time.Microsecond), modeledHedge.Round(time.Microsecond), hedgesWon)
+
+	if metricsOut != "" {
+		artifact := map[string]interface{}{
+			"pool_bytes":       pool,
+			"max_query_peak":   maxPeak,
+			"governed_queue":   govB.Metrics(),
+			"governed_shed":    govA.Metrics(),
+			"hedged":           hedged.Metrics(),
+			"modeled_baseline": modeledBase.Seconds(),
+			"modeled_hedged":   modeledHedge.Seconds(),
+		}
+		data, err := json.MarshalIndent(artifact, "", "  ")
+		if err != nil {
+			fatalf("overload: marshal metrics: %v", err)
+		}
+		if err := os.WriteFile(metricsOut, data, 0o644); err != nil {
+			fatalf("overload: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "benchrunner: wrote metrics to %s\n", metricsOut)
 	}
 	if failed {
 		os.Exit(1)

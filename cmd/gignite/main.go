@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	gignite [-system ic|ic+|ic+m] [-sites 4] [-load tpch|ssb] [-sf 0.01]
-//	        [-slowquery 100ms]
+//	gignite [-system ic|ic+|ic+m] [-sites 4] [-backups 0] [-load tpch|ssb]
+//	        [-sf 0.01] [-slowquery 100ms] [-admission N] [-maxmem BYTES]
+//	        [-querymem BYTES] [-hedge FACTOR]
 //
 // Then type SQL statements terminated by semicolons;
 // \q quits, \t toggles timing output, \m prints the engine metrics
@@ -33,6 +34,11 @@ func main() {
 	sf := flag.Float64("sf", 0.01, "benchmark scale factor")
 	slow := flag.Duration("slowquery", 0, "log queries whose modeled time reaches this threshold (0 disables)")
 	filters := flag.Bool("filters", false, "enable runtime join-filter pushdown (DESIGN.md \u00a713)")
+	admission := flag.Int("admission", 0, "max concurrently admitted queries, excess queued then shed (0 = unbounded)")
+	maxmem := flag.Int64("maxmem", 0, "engine-wide memory pool in bytes for estimated operator state (0 = no pool)")
+	querymem := flag.Int64("querymem", 0, "per-query memory budget in bytes (0 = unlimited)")
+	hedge := flag.Float64("hedge", 0, "hedge straggler instances past this factor over the wave median (0 disables; needs -backups >= 1)")
+	backups := flag.Int("backups", 0, "backup replicas per partition")
 	flag.Parse()
 
 	var cfg gignite.Config
@@ -49,6 +55,11 @@ func main() {
 	}
 	cfg.ExecWorkLimit = harness.WorkLimitFor(*sf)
 	cfg.RuntimeFilters = *filters
+	cfg.Backups = *backups
+	cfg.MaxConcurrentQueries = *admission
+	cfg.MemoryBudgetBytes = *maxmem
+	cfg.QueryMemLimitBytes = *querymem
+	cfg.HedgeAfter = *hedge
 	if *slow > 0 {
 		cfg.SlowQueryThreshold = *slow
 		cfg.Logger = func(format string, args ...interface{}) {

@@ -164,6 +164,12 @@ func FuzzFaultPlanSpec(f *testing.F) {
 		" seed=1 ; crash=0@0 ",
 		"bogus=1",
 		"crash=18446744073709551616@1",
+		"mem=0@65536",
+		"mem=1@0",
+		"mem=1@-1",
+		"mem=1@65536;mem=1@4096",
+		"slow=1x4;crash=2@3;sendfail=0.05;mem=0@65536",
+		"mem=3@9223372036854775808",
 	} {
 		f.Add(seed)
 	}

@@ -33,6 +33,7 @@ import (
 	"gignite/internal/cost"
 	"gignite/internal/faults"
 	"gignite/internal/fragment"
+	"gignite/internal/governor"
 	"gignite/internal/hep"
 	"gignite/internal/joinfilter"
 	"gignite/internal/logical"
@@ -59,14 +60,24 @@ type (
 
 // Errors surfaced by the engine. ErrPlanBudget and ErrQueryTimeout
 // reproduce the two baseline failure modes of the paper's §1: planning
-// failures and >limit executions.
+// failures and >limit executions. ErrOverloaded and ErrMemoryExceeded are
+// the resource governor's shed/abort taxonomy (DESIGN.md §14): test them
+// with errors.Is to tell "the engine rejected work it cannot serve" from
+// "this one query blew its own budget".
 var (
 	// ErrViewsUnsupported: SQL views are not supported (TPC-H Q15).
 	ErrViewsUnsupported = binder.ErrViewsUnsupported
 	// ErrPlanBudget: the cost-based planner exhausted its search budget.
 	ErrPlanBudget = volcano.ErrBudgetExceeded
-	// ErrQueryTimeout: execution exceeded the configured work limit.
+	// ErrQueryTimeout: execution exceeded the configured work limit, the
+	// wall-clock QueryTimeout, or a context deadline.
 	ErrQueryTimeout = errors.New("gignite: query exceeded the execution work limit")
+	// ErrOverloaded: the engine shed the query at admission (queue wait
+	// exceeded AdmissionTimeout) or the shared memory pool was exhausted.
+	ErrOverloaded = governor.ErrOverloaded
+	// ErrMemoryExceeded: the query charged more estimated operator state
+	// than Config.QueryMemLimitBytes allows; only the query aborts.
+	ErrMemoryExceeded = governor.ErrMemoryExceeded
 )
 
 // FaultPlan is a deterministic fault-injection plan (see package faults
@@ -158,9 +169,37 @@ type Config struct {
 	// context passed to ExecContext/QueryContext take precedence.
 	QueryTimeout time.Duration
 	// Faults is an optional deterministic fault-injection plan applied to
-	// every query (site crashes, slow sites, flaky transport). nil
-	// injects nothing. See ParseFaults.
+	// every query (site crashes, slow sites, flaky transport, shrunken
+	// site memory pools). nil injects nothing. See ParseFaults.
 	Faults *FaultPlan
+
+	// --- resource governance (DESIGN.md §14) ---
+
+	// MaxConcurrentQueries bounds admitted SELECT executions; excess
+	// queries wait in a FIFO admission queue up to AdmissionTimeout and
+	// are then shed with ErrOverloaded. 0 = unbounded.
+	MaxConcurrentQueries int
+	// MemoryBudgetBytes is the engine-wide memory pool in-flight queries
+	// reserve their estimated operator state (hash builds, aggregation
+	// tables, sorts, exchange buffers) against. Admission waits for pool
+	// headroom; a reservation that finds none fails the query with
+	// ErrOverloaded. 0 = no pool.
+	MemoryBudgetBytes int64
+	// QueryMemLimitBytes caps one query's cumulative estimated charge;
+	// past it the query alone aborts with ErrMemoryExceeded naming the
+	// operator. Charges are estimates, deterministic at every
+	// ExecParallelism. 0 = unlimited.
+	QueryMemLimitBytes int64
+	// AdmissionTimeout bounds the admission-queue wait (0 = the
+	// governor's 2s default; < 0 = wait as long as the context allows).
+	AdmissionTimeout time.Duration
+	// HedgeAfter, when > 0, enables hedged straggler attempts: a fragment
+	// instance whose modeled work exceeds HedgeAfter× its wave's median is
+	// speculatively re-executed at the next replica of its partition, the
+	// modeled-faster attempt wins, and the loser's outputs are discarded.
+	// Results stay byte-identical; only the makespan (and the hedge
+	// counters) change. Requires Backups >= 1 to have anywhere to run.
+	HedgeAfter float64
 	// ExperimentalViews enables CREATE VIEW and view expansion — an
 	// extension beyond the paper's system (Ignite+Calcite rejects views,
 	// which is what excludes TPC-H Q15). Off in every preset so the
@@ -234,6 +273,7 @@ type Engine struct {
 
 	metrics *obs.Registry
 	em      engineMetrics
+	gov     *governor.Governor
 	queryID atomic.Uint64
 }
 
@@ -244,6 +284,7 @@ type engineMetrics struct {
 	rows, work, bytes           *obs.Counter
 	instances, retries, spans   *obs.Counter
 	filters, pruned             *obs.Counter
+	hedges, hedgesWon           *obs.Counter
 	inflight                    *obs.Gauge
 	modeledSeconds, wallSeconds *obs.Histogram
 }
@@ -269,6 +310,21 @@ func Open(cfg Config) *Engine {
 		SmallKeys: cfg.RuntimeFilterSmallKeys,
 	}
 	reg := obs.NewRegistry()
+	// The governor only exists when a governance knob is set, so ungoverned
+	// engines skip admission entirely (a nil governor admits everything).
+	var gov *governor.Governor
+	if cfg.MaxConcurrentQueries > 0 || cfg.MemoryBudgetBytes > 0 || cfg.QueryMemLimitBytes > 0 {
+		gov = governor.New(governor.Params{
+			MaxConcurrent:    cfg.MaxConcurrentQueries,
+			PoolBytes:        cfg.MemoryBudgetBytes,
+			QueryLimitBytes:  cfg.QueryMemLimitBytes,
+			AdmissionTimeout: cfg.AdmissionTimeout,
+		}, governor.Metrics{
+			Queued:   reg.Gauge("queries_queued"),
+			Shed:     reg.Counter("queries_shed_total"),
+			Reserved: reg.Gauge("mem_reserved_bytes"),
+		})
+	}
 	return &Engine{
 		cfg:     cfg,
 		catalog: cat,
@@ -276,6 +332,7 @@ func Open(cfg Config) *Engine {
 		cluster: cl,
 		views:   make(map[string]*sql.SelectStmt),
 		metrics: reg,
+		gov:     gov,
 		em: engineMetrics{
 			queries:        reg.Counter("queries_total"),
 			failed:         reg.Counter("queries_failed_total"),
@@ -288,6 +345,8 @@ func Open(cfg Config) *Engine {
 			spans:          reg.Counter("trace_spans_total"),
 			filters:        reg.Counter("filters_built_total"),
 			pruned:         reg.Counter("filter_rows_pruned_total"),
+			hedges:         reg.Counter("hedges_launched_total"),
+			hedgesWon:      reg.Counter("hedges_won_total"),
 			inflight:       reg.Gauge("queries_inflight"),
 			modeledSeconds: reg.Histogram("query_modeled_seconds", obs.DefaultTimeBuckets()),
 			wallSeconds:    reg.Histogram("query_wall_seconds", obs.DefaultTimeBuckets()),
@@ -359,6 +418,13 @@ type ExecStats struct {
 	FiltersBuilt int
 	FilterBytes  int64
 	RowsPruned   int64
+	// Hedges / HedgesWon count hedged straggler attempts launched and won
+	// (DESIGN.md §14).
+	Hedges    int
+	HedgesWon int
+	// MemPeakBytes is the query's high-water mark of estimated operator
+	// state reserved against the engine's memory pool (0 when ungoverned).
+	MemPeakBytes int64
 }
 
 // Exec parses and executes one SQL statement (DDL, INSERT, SELECT or
@@ -562,6 +628,18 @@ func (e *Engine) run(ctx context.Context, sel *sql.SelectStmt, src string) (*Res
 		}
 	}
 	e.em.queries.Inc()
+	// Admission control: at capacity, the query waits in the governor's
+	// FIFO queue and is shed with ErrOverloaded when AdmissionTimeout
+	// fires first. The inflight gauge counts admitted queries only.
+	lease, err := e.gov.Acquire(ctx)
+	if err != nil {
+		e.em.failed.Inc()
+		if errors.Is(err, context.DeadlineExceeded) {
+			return nil, nil, fmt.Errorf("%w: %w", ErrQueryTimeout, err)
+		}
+		return nil, nil, fmt.Errorf("gignite: %w", err)
+	}
+	defer lease.Close()
 	e.em.inflight.Add(1)
 	defer e.em.inflight.Add(-1)
 	pp, vp, err := e.plan(sel)
@@ -581,11 +659,21 @@ func (e *Engine) run(ctx context.Context, sel *sql.SelectStmt, src string) (*Res
 	if limit < 0 {
 		limit = 0
 	}
-	res, err := e.cluster.ExecuteLimited(ctx, fp, variants, limit)
+	res, err := e.cluster.Run(ctx, fp, cluster.Opts{
+		Variants:   variants,
+		WorkLimit:  limit,
+		Mem:        lease,
+		HedgeAfter: e.cfg.HedgeAfter,
+	})
 	if err != nil {
 		e.em.failed.Inc()
-		if errors.Is(err, cluster.ErrWorkLimit) {
+		switch {
+		case errors.Is(err, cluster.ErrWorkLimit):
 			return nil, nil, fmt.Errorf("%w: %v", ErrQueryTimeout, err)
+		case errors.Is(err, context.DeadlineExceeded):
+			// Dual-wrap so callers can test either the engine's typed
+			// sentinel or the context error.
+			return nil, nil, fmt.Errorf("%w: %w", ErrQueryTimeout, err)
 		}
 		return nil, nil, err
 	}
@@ -612,6 +700,9 @@ func (e *Engine) run(ctx context.Context, sel *sql.SelectStmt, src string) (*Res
 			FiltersBuilt: res.FiltersBuilt,
 			FilterBytes:  res.FilterBytes,
 			RowsPruned:   res.RowsPruned,
+			Hedges:       res.Hedges,
+			HedgesWon:    res.HedgesWon,
+			MemPeakBytes: lease.Peak(),
 		},
 	}
 	if qobs != nil {
@@ -633,6 +724,8 @@ func (e *Engine) recordQuery(res *Result, qobs *obs.QueryObs, src string) {
 	e.em.spans.Add(float64(res.Stats.Spans))
 	e.em.filters.Add(float64(res.Stats.FiltersBuilt))
 	e.em.pruned.Add(float64(res.Stats.RowsPruned))
+	e.em.hedges.Add(float64(res.Stats.Hedges))
+	e.em.hedgesWon.Add(float64(res.Stats.HedgesWon))
 	e.em.modeledSeconds.Observe(res.Modeled.Seconds())
 	if qobs != nil {
 		e.em.wallSeconds.Observe(time.Duration(qobs.WallNanos).Seconds())
@@ -712,6 +805,12 @@ func formatAnalyzed(fp *fragment.Plan, q *obs.QueryObs, st *ExecStats) string {
 		if st.FiltersBuilt > 0 {
 			fmt.Fprintf(&sb, " filters=%d rows_pruned=%d", st.FiltersBuilt, st.RowsPruned)
 		}
+		if st.Hedges > 0 {
+			fmt.Fprintf(&sb, " hedges=%d won=%d", st.Hedges, st.HedgesWon)
+		}
+		if st.MemPeakBytes > 0 {
+			fmt.Fprintf(&sb, " mem_peak=%d", st.MemPeakBytes)
+		}
 		sb.WriteByte('\n')
 	}
 	return sb.String()
@@ -733,6 +832,9 @@ func formatAnalyzedNode(sb *strings.Builder, n physical.Node, fo *obs.FragmentOb
 			}
 			if op.RowsPruned > 0 {
 				fmt.Fprintf(sb, " pruned=%d", op.RowsPruned)
+			}
+			if op.PeakMemBytes > 0 {
+				fmt.Fprintf(sb, " mem=%d", op.PeakMemBytes)
 			}
 			sb.WriteString("]")
 		}

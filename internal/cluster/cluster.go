@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +40,7 @@ import (
 	"gignite/internal/exec"
 	"gignite/internal/faults"
 	"gignite/internal/fragment"
+	"gignite/internal/governor"
 	"gignite/internal/joinfilter"
 	"gignite/internal/obs"
 	"gignite/internal/physical"
@@ -115,6 +117,10 @@ type Result struct {
 	FiltersBuilt int
 	FilterBytes  int64
 	RowsPruned   int64
+	// Hedges counts speculative straggler attempts launched, HedgesWon
+	// the ones that beat their primary (DESIGN.md §14).
+	Hedges    int
+	HedgesWon int
 	// Obs is the query's observation record: per-operator runtime
 	// statistics per fragment, and one trace span per fragment-instance
 	// attempt, in deterministic job order.
@@ -127,7 +133,44 @@ var ErrWorkLimit = exec.ErrWorkLimit
 // Execute runs a fragmented plan. variants > 1 enables §5.3 variant
 // fragments (IC+M runs with 2). ctx cancels in-flight waves.
 func (c *Cluster) Execute(ctx context.Context, plan *fragment.Plan, variants int) (*Result, error) {
-	return c.ExecuteLimited(ctx, plan, variants, 0)
+	return c.Run(ctx, plan, Opts{Variants: variants})
+}
+
+// ExecuteLimited is Execute with a per-instance work limit (0 =
+// unlimited), reproducing the paper's query runtime limit.
+func (c *Cluster) ExecuteLimited(ctx context.Context, plan *fragment.Plan, variants int, workLimit float64) (*Result, error) {
+	return c.Run(ctx, plan, Opts{Variants: variants, WorkLimit: workLimit})
+}
+
+// Opts configures one execution beyond the plan itself.
+type Opts struct {
+	// Variants > 1 enables §5.3 variant fragments.
+	Variants int
+	// WorkLimit bounds one instance's CPU work (0 = unlimited).
+	WorkLimit float64
+	// Mem is the query's governor lease: instances charge their estimated
+	// operator state against it as they run, and a charge past the
+	// query's budget aborts the query with governor.ErrMemoryExceeded.
+	// nil runs ungoverned.
+	Mem *governor.Lease
+	// HedgeAfter, when > 0, enables hedged straggler attempts (DESIGN.md
+	// §14): after each wave, an instance whose modeled work exceeded
+	// HedgeAfter× the wave median is speculatively re-executed at the
+	// next live replica of its partition; the modeled-faster attempt's
+	// outputs are kept and the loser's are discarded.
+	HedgeAfter float64
+}
+
+// runEnv bundles the per-execution state the wave scheduler threads
+// through every instance.
+type runEnv struct {
+	transport  *exec.Transport
+	workLimit  float64
+	dying      map[int]int
+	began      time.Time
+	fs         *filterState
+	mem        *governor.Lease
+	hedgeAfter float64
 }
 
 // instanceJob is one schedulable (fragment × site × variant) instance.
@@ -178,7 +221,10 @@ type instanceResult struct {
 	// ftested/fpruned are the instance's per-filter probe counts (nil
 	// when the instance applied no runtime filters).
 	ftested, fpruned map[int]int64
-	err              error
+	// hedge records the instance's speculative straggler attempt, if one
+	// was launched (win or lose).
+	hedge *simnet.Hedge
+	err   error
 }
 
 // siteState is a site's condition from the perspective of one instance
@@ -195,9 +241,9 @@ const (
 	siteDead
 )
 
-// ExecuteLimited is Execute with a per-instance work limit (0 =
-// unlimited), reproducing the paper's query runtime limit.
-func (c *Cluster) ExecuteLimited(ctx context.Context, plan *fragment.Plan, variants int, workLimit float64) (*Result, error) {
+// Run executes a fragmented plan under the given options.
+func (c *Cluster) Run(ctx context.Context, plan *fragment.Plan, opts Opts) (*Result, error) {
+	variants := opts.Variants
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -345,7 +391,13 @@ func (c *Cluster) ExecuteLimited(ctx context.Context, plan *fragment.Plan, varia
 		resultFields types.Fields
 		instances    int
 		retryCount   int
+		hedges       int
+		hedgesWon    int
 	)
+	env := &runEnv{
+		transport: transport, workLimit: opts.WorkLimit, dying: dying,
+		began: began, fs: fstate, mem: opts.Mem, hedgeAfter: opts.HedgeAfter,
+	}
 
 	// Execute the filter pre-pass and freeze the filters at its barrier.
 	// Pre-pass instances run through the same retry/failover machinery as
@@ -354,7 +406,7 @@ func (c *Cluster) ExecuteLimited(ctx context.Context, plan *fragment.Plan, varia
 	// cached build rows, so the build runs off the critical path).
 	if len(preJobs) > 0 {
 		results := make([]instanceResult, len(preJobs))
-		c.runWave(ctx, preJobs, results, transport, workers, workLimit, dying, began, nil)
+		c.runWave(ctx, preJobs, results, env, workers)
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -432,8 +484,15 @@ func (c *Cluster) ExecuteLimited(ctx context.Context, plan *fragment.Plan, varia
 			continue
 		}
 		results := make([]instanceResult, len(jobs))
-		c.runWave(ctx, jobs, results, transport, workers, workLimit, dying, began, fstate)
+		c.runWave(ctx, jobs, results, env, workers)
 
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Hedge this wave's stragglers before the barrier merges results:
+		// the speculative attempts must win or lose (and the loser's
+		// shipments be discarded) before any consumer wave receives.
+		c.hedgeWave(ctx, jobs, results, env, workers)
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -463,6 +522,13 @@ func (c *Cluster) ExecuteLimited(ctx context.Context, plan *fragment.Plan, varia
 			instances++
 			retryCount += len(r.retries)
 			trace.Retries = append(trace.Retries, r.retries...)
+			if r.hedge != nil {
+				trace.Hedges = append(trace.Hedges, *r.hedge)
+				hedges++
+				if r.hedge.Won {
+					hedgesWon++
+				}
+			}
 			trace.Instances[j.frag.ID] = append(trace.Instances[j.frag.ID], simnet.Instance{
 				Frag: j.frag.ID, Site: j.site, Variant: j.variant, Work: r.work,
 			})
@@ -511,6 +577,8 @@ func (c *Cluster) ExecuteLimited(ctx context.Context, plan *fragment.Plan, varia
 		Fragments:    len(plan.Fragments),
 		Instances:    instances,
 		Retries:      retryCount,
+		Hedges:       hedges,
+		HedgesWon:    hedgesWon,
 		Workers:      workers,
 		Obs:          qobs,
 	}
@@ -664,16 +732,20 @@ func (c *Cluster) siteStateAt(site, ordinal int, dying map[int]int) siteState {
 // wave's failure set deterministic; only context cancellation stops the
 // wave early.
 func (c *Cluster) runWave(ctx context.Context, jobs []instanceJob, results []instanceResult,
-	transport *exec.Transport, workers int, workLimit float64, dying map[int]int, began time.Time,
-	fs *filterState) {
+	env *runEnv, workers int) {
 
-	run := func(i int) { c.runInstance(ctx, jobs[i], &results[i], transport, workLimit, dying, began, fs) }
+	run := func(i int) { c.runInstance(ctx, jobs[i], &results[i], env) }
+	runPool(len(jobs), workers, run)
+}
 
-	if workers > len(jobs) {
-		workers = len(jobs)
+// runPool fans run(i) for i in [0, n) over at most `workers` goroutines
+// (sequentially when workers <= 1).
+func runPool(n, workers int, run func(i int)) {
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		for i := range jobs {
+		for i := 0; i < n; i++ {
 			run(i)
 		}
 		return
@@ -687,7 +759,7 @@ func (c *Cluster) runWave(ctx context.Context, jobs []instanceJob, results []ins
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
-				if i >= len(jobs) {
+				if i >= n {
 					return
 				}
 				run(i)
@@ -700,10 +772,7 @@ func (c *Cluster) runWave(ctx context.Context, jobs []instanceJob, results []ins
 // runInstance executes one instance with retry and replica failover. The
 // attempt sequence is a pure function of the job's identity and the fault
 // plan, so it is identical at every worker count.
-func (c *Cluster) runInstance(ctx context.Context, j instanceJob, r *instanceResult,
-	transport *exec.Transport, workLimit float64, dying map[int]int, began time.Time,
-	fs *filterState) {
-
+func (c *Cluster) runInstance(ctx context.Context, j instanceJob, r *instanceResult, env *runEnv) {
 	// span emits one trace span for an attempt of this instance. Offsets
 	// are wall-clock (outside the determinism contract); the span set and
 	// its order are deterministic.
@@ -711,8 +780,8 @@ func (c *Cluster) runInstance(ctx context.Context, j instanceJob, r *instanceRes
 		s := obs.Span{
 			Frag: j.frag.ID, Site: j.site, Host: host, Variant: j.variant,
 			Attempt: attempt, Ordinal: j.ordinal, Wave: j.wave,
-			StartNanos: start.Sub(began).Nanoseconds(),
-			EndNanos:   time.Since(began).Nanoseconds(),
+			StartNanos: start.Sub(env.began).Nanoseconds(),
+			EndNanos:   time.Since(env.began).Nanoseconds(),
 			Status:     status,
 		}
 		if err != nil {
@@ -741,7 +810,7 @@ func (c *Cluster) runInstance(ctx context.Context, j instanceJob, r *instanceRes
 		host, state := -1, siteAlive
 		for hostIdx < len(chain) {
 			h := chain[hostIdx]
-			if st := c.siteStateAt(h, j.ordinal, dying); st != siteDead {
+			if st := c.siteStateAt(h, j.ordinal, env.dying); st != siteDead {
 				host, state = h, st
 				break
 			}
@@ -766,32 +835,20 @@ func (c *Cluster) runInstance(ctx context.Context, j instanceJob, r *instanceRes
 		}
 
 		attemptStart := time.Now()
-		ectx := &exec.Context{
-			Store:     c.Store,
-			Transport: transport,
-			FragID:    j.frag.ID,
-			Site:      j.site,
-			Host:      host,
-			Attempt:   attempt,
-			Ctx:       ctx,
-			Faults:    c.Faults,
-			Variant:   j.variant,
-			NVariants: j.nVariants,
-			Modes:     j.modes,
-			WorkLimit: workLimit,
-			RowLimit:  c.RowLimit,
-			OpIDs:     j.fobs.OpIndex,
-			Obs:       obs.NewInstanceObs(j.fobs),
-		}
+		ectx := c.instanceContext(ctx, j, host, attempt, env)
 		root := j.frag.Root
 		if j.filter != nil {
 			// Pre-pass instance: execute the filter's build subtree in
 			// place of the fragment root.
 			root = j.filter.BuildRoot
-		} else if fs != nil {
-			fs.inject(j, ectx, c.Store.Sites())
+		} else if env.fs != nil {
+			env.fs.inject(j, ectx, c.Store.Sites())
 		}
 		rows, err := exec.Run(root, ectx)
+		// The attempt's operator state is gone either way; return its
+		// reservation to the shared pool (the per-query budget still
+		// remembers the cumulative charge).
+		env.mem.Release(ectx.ChargedMem())
 		if err == nil && state == siteDying {
 			err = fmt.Errorf("site %d died mid-instance: %w", host, faults.ErrSiteCrash)
 		}
@@ -811,7 +868,7 @@ func (c *Cluster) runInstance(ctx context.Context, j instanceJob, r *instanceRes
 		// Roll back this attempt's shipments so a retry never duplicates
 		// rows (and a terminally failed instance never leaks partial
 		// sends into the trace).
-		bytes, _ := transport.DiscardFrom(j.frag.ID, j.site, j.variant)
+		bytes, _ := env.transport.DiscardFrom(j.frag.ID, j.site, j.variant)
 
 		if !faults.Injected(err) || attempt == maxAttempts-1 {
 			span(host, attempt, attemptStart, obs.SpanFailed, err)
@@ -825,14 +882,181 @@ func (c *Cluster) runInstance(ctx context.Context, j instanceJob, r *instanceRes
 			Frag: j.frag.ID, Site: j.site, Variant: j.variant, Host: host,
 			Work: ectx.CPUWork * c.Faults.Slowdown(host), Bytes: bytes,
 		})
-		if errors.Is(err, faults.ErrSiteCrash) {
-			hostIdx++ // this replica is gone; move down the chain
+		if errors.Is(err, faults.ErrSiteCrash) || errors.Is(err, faults.ErrSiteMem) {
+			// This replica cannot serve the instance (gone, or its memory
+			// pool deterministically too small); move down the chain.
+			hostIdx++
 		}
 		if !c.backoff(ctx, attempt) {
 			r.err = ctx.Err()
 			return
 		}
 	}
+}
+
+// instanceContext builds one attempt's private exec context.
+func (c *Cluster) instanceContext(ctx context.Context, j instanceJob, host, attempt int, env *runEnv) *exec.Context {
+	return &exec.Context{
+		Store:        c.Store,
+		Transport:    env.transport,
+		FragID:       j.frag.ID,
+		Site:         j.site,
+		Host:         host,
+		Attempt:      attempt,
+		Ctx:          ctx,
+		Faults:       c.Faults,
+		Variant:      j.variant,
+		NVariants:    j.nVariants,
+		Modes:        j.modes,
+		WorkLimit:    env.workLimit,
+		RowLimit:     c.RowLimit,
+		OpIDs:        j.fobs.OpIndex,
+		Obs:          obs.NewInstanceObs(j.fobs),
+		Mem:          env.mem,
+		SiteMemBytes: c.Faults.MemLimit(host),
+	}
+}
+
+// hedgeWave launches speculative attempts for the wave's stragglers
+// (DESIGN.md §14). Detection runs at the wave barrier on the modeled
+// clock, not wall time: an instance whose charged work exceeded
+// hedgeAfter× the wave's median (a slow site multiplies charged work —
+// see Injector.Slowdown) is re-executed at the next live replica of its
+// partition. The modeled-faster attempt's shipments survive, the loser's
+// are discarded, and a tie goes to the primary (the lowest attempt
+// ordinal), so results stay byte-identical at every worker count whether
+// or not hedging fires.
+func (c *Cluster) hedgeWave(ctx context.Context, jobs []instanceJob, results []instanceResult,
+	env *runEnv, workers int) {
+	if env.hedgeAfter <= 0 {
+		return
+	}
+	var works []float64
+	for i := range results {
+		if results[i].err == nil {
+			works = append(works, results[i].work)
+		}
+	}
+	if len(works) < 2 {
+		return
+	}
+	sort.Float64s(works)
+	median := works[len(works)/2]
+	if median <= 0 {
+		return
+	}
+	threshold := env.hedgeAfter * median
+	type hedgeCand struct{ idx, host int }
+	var cand []hedgeCand
+	for i := range jobs {
+		j, r := jobs[i], &results[i]
+		if r.err != nil || !j.partitioned || j.filter != nil || r.work <= threshold {
+			continue
+		}
+		if h := c.hedgeHost(j, r.host, env); h >= 0 {
+			cand = append(cand, hedgeCand{idx: i, host: h})
+		}
+	}
+	runPool(len(cand), workers, func(k int) {
+		i := cand[k].idx
+		c.runHedge(ctx, jobs[i], &results[i], env, cand[k].host, threshold)
+	})
+}
+
+// hedgeHost picks the replica a straggler's speculative attempt runs at:
+// the next live site after the primary's host on the partition's replica
+// chain (-1 when none exists).
+func (c *Cluster) hedgeHost(j instanceJob, primary int, env *runEnv) int {
+	chain := c.Store.ReplicaSites(j.site)
+	at := -1
+	for k, h := range chain {
+		if h == primary {
+			at = k
+			break
+		}
+	}
+	for k := at + 1; k < len(chain); k++ {
+		if c.siteStateAt(chain[k], j.ordinal, env.dying) == siteAlive {
+			return chain[k]
+		}
+	}
+	return -1
+}
+
+// runHedge executes one speculative attempt and settles the race on the
+// modeled clock: the hedge launched after `threshold` work-units of the
+// primary's timeline, so it wins only when threshold + its own work beats
+// the primary's work outright. Exactly one attempt's shipments survive in
+// the transport, and exactly one span is appended (keeping the invariant
+// spans == instances + retries + hedges).
+func (c *Cluster) runHedge(ctx context.Context, j instanceJob, r *instanceResult,
+	env *runEnv, host int, threshold float64) {
+	if err := ctx.Err(); err != nil {
+		return
+	}
+	okIdx := -1
+	for k := range r.spans {
+		if r.spans[k].Status == obs.SpanOK {
+			okIdx = k
+		}
+	}
+	if okIdx < 0 {
+		return
+	}
+	attempt := r.spans[len(r.spans)-1].Attempt + 1
+	start := time.Now()
+	ectx := c.instanceContext(ctx, j, host, attempt, env)
+	if env.fs != nil {
+		env.fs.inject(j, ectx, c.Store.Sites())
+	}
+	rows, err := exec.Run(j.frag.Root, ectx)
+	env.mem.Release(ectx.ChargedMem())
+	hedgeWork := ectx.CPUWork * c.Faults.Slowdown(host)
+
+	hedge := &simnet.Hedge{Frag: j.frag.ID, Site: j.site, Variant: j.variant, DelayWork: threshold}
+	s := obs.Span{
+		Frag: j.frag.ID, Site: j.site, Host: host, Variant: j.variant,
+		Attempt: attempt, Ordinal: j.ordinal, Wave: j.wave, Hedge: true,
+		StartNanos: start.Sub(env.began).Nanoseconds(),
+	}
+	switch {
+	case err != nil:
+		// A failed hedge never fails the query — the primary already
+		// succeeded; only the speculation's work is charged.
+		env.transport.DiscardAttempt(j.frag.ID, j.site, j.variant, attempt)
+		s.Status, s.Error = obs.SpanFailed, err.Error()
+		hedge.LostWork = hedgeWork
+	case threshold+hedgeWork < r.work:
+		// The hedge finishes first on the modeled clock: keep its outputs,
+		// discard the primary's, and flip the primary's span. The primary
+		// is abandoned the moment the hedge completes, so its lost work is
+		// capped at the race's finish time.
+		bytes, _ := env.transport.DiscardAttempt(j.frag.ID, j.site, j.variant, r.spans[okIdx].Attempt)
+		r.spans[okIdx].Status = obs.SpanHedged
+		s.Status = obs.SpanOK
+		hedge.Won = true
+		hedge.LostWork = threshold + hedgeWork
+		if r.work < hedge.LostWork {
+			hedge.LostWork = r.work
+		}
+		hedge.LostBytes = bytes
+		r.rows, r.host, r.work, r.obs = rows, host, hedgeWork, ectx.Obs
+		r.ftested, r.fpruned = ectx.FilterTested, ectx.FilterPruned
+	default:
+		// The primary wins (ties included: the lowest attempt ordinal is
+		// canonical). The hedge ran from threshold until the primary's
+		// finish, bounded by its own completion.
+		bytes, _ := env.transport.DiscardAttempt(j.frag.ID, j.site, j.variant, attempt)
+		s.Status = obs.SpanHedged
+		hedge.LostWork = r.work - threshold
+		if hedge.LostWork > hedgeWork {
+			hedge.LostWork = hedgeWork
+		}
+		hedge.LostBytes = bytes
+	}
+	s.EndNanos = time.Since(env.began).Nanoseconds()
+	r.spans = append(r.spans, s)
+	r.hedge = hedge
 }
 
 // backoff sleeps the capped exponential backoff for an attempt; it

@@ -19,6 +19,7 @@ import (
 	"gignite/internal/cost"
 	"gignite/internal/faults"
 	"gignite/internal/fragment"
+	"gignite/internal/governor"
 	"gignite/internal/joinfilter"
 	"gignite/internal/obs"
 	"gignite/internal/physical"
@@ -85,12 +86,15 @@ func (t *Transport) getScratch(rows, sites int) *sendScratch {
 
 func (t *Transport) putScratch(sc *sendScratch) { t.scratch.Put(sc) }
 
-// SendRecord is the cost-clock view of one shipment.
+// SendRecord is the cost-clock view of one shipment. Attempt identifies
+// the sender attempt so a hedged race's loser can be rolled back without
+// touching the winner's shipments.
 type SendRecord struct {
 	Exchange    int
 	FromFrag    int
 	FromSite    int
 	FromVariant int
+	Attempt     int
 	ToSite      int
 	Bytes       int64
 	Rows        int64
@@ -119,8 +123,8 @@ func (t *Transport) Send(exchange, toSite int, b *Batch) error {
 	m[toSite] = append(m[toSite], b)
 	t.Sends = append(t.Sends, SendRecord{
 		Exchange: exchange, FromFrag: b.FromFrag, FromSite: b.FromSite,
-		FromVariant: b.FromVariant, ToSite: toSite, Bytes: b.Bytes,
-		Rows: int64(len(b.Rows)),
+		FromVariant: b.FromVariant, Attempt: b.Attempt, ToSite: toSite,
+		Bytes: b.Bytes, Rows: int64(len(b.Rows)),
 	})
 	return nil
 }
@@ -133,16 +137,28 @@ func (t *Transport) Send(exchange, toSite int, b *Batch) error {
 // Discarding is safe because consumers only receive at the next wave
 // barrier, after all retries of the producing wave have settled.
 func (t *Transport) DiscardFrom(fromFrag, fromSite, fromVariant int) (bytes float64, rows int64) {
+	return t.discard(func(frag, site, variant, attempt int) bool {
+		return frag == fromFrag && site == fromSite && variant == fromVariant
+	})
+}
+
+// DiscardAttempt rolls back the shipments of one specific attempt of a
+// sender instance — the losing side of a hedged race — leaving the
+// surviving attempt's shipments in place (DESIGN.md §14).
+func (t *Transport) DiscardAttempt(fromFrag, fromSite, fromVariant, attempt int) (bytes float64, rows int64) {
+	return t.discard(func(frag, site, variant, att int) bool {
+		return frag == fromFrag && site == fromSite && variant == fromVariant && att == attempt
+	})
+}
+
+func (t *Transport) discard(match func(frag, site, variant, attempt int) bool) (bytes float64, rows int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	match := func(frag, site, variant int) bool {
-		return frag == fromFrag && site == fromSite && variant == fromVariant
-	}
 	for _, m := range t.batches {
 		for toSite, bs := range m {
 			kept := bs[:0]
 			for _, b := range bs {
-				if match(b.FromFrag, b.FromSite, b.FromVariant) {
+				if match(b.FromFrag, b.FromSite, b.FromVariant, b.Attempt) {
 					continue
 				}
 				kept = append(kept, b)
@@ -152,7 +168,7 @@ func (t *Transport) DiscardFrom(fromFrag, fromSite, fromVariant int) (bytes floa
 	}
 	keptSends := t.Sends[:0]
 	for _, s := range t.Sends {
-		if match(s.FromFrag, s.FromSite, s.FromVariant) {
+		if match(s.FromFrag, s.FromSite, s.FromVariant, s.Attempt) {
 			bytes += float64(s.Bytes)
 			rows += s.Rows
 			continue
@@ -223,6 +239,23 @@ type Context struct {
 	rowsEmitted int64
 	// rowCounter implements the splitter's read counter per source.
 	rowCounters map[physical.Node]int64
+	// Mem, when non-nil, is the query's governor memory lease:
+	// pipeline-breaking operators (hash builds, aggregations, sorts,
+	// receiver buffers, join emission) charge estimated state bytes
+	// against it as they accumulate state (DESIGN.md §14). Reservation
+	// failures abort only this query, with a typed error naming the
+	// operator.
+	Mem *governor.Lease
+	// SiteMemBytes, when positive, is the host site's injected memory
+	// pool (the mem=S@B fault term): an instance whose charges exceed it
+	// fails with faults.ErrSiteMem and fails over to the next replica.
+	// Enforcement is per-instance and deterministic.
+	SiteMemBytes int64
+	// memLocal is this attempt's charged bytes (the SiteMemBytes check);
+	// memCharged is the subset successfully reserved on the lease, which
+	// the scheduler releases when the attempt finishes.
+	memLocal   int64
+	memCharged int64
 	// OpIDs maps this fragment's operators to dense per-fragment operator
 	// ids, and Obs is the attempt's private per-operator recorder. Both
 	// nil disables instrumentation (microbenchmarks, operator unit tests).
@@ -314,6 +347,55 @@ func (c *Context) applyNodeFilters(n physical.Node, afs []*AppliedFilter, rows [
 // ErrWorkLimit reports an execution exceeding its work limit.
 var ErrWorkLimit = errors.New("exec: work limit exceeded")
 
+// ReserveMem charges estimated operator-state bytes against the
+// instance's site memory pool and the query's lease, recording the
+// operator's memory high-water mark. A failed reservation names the
+// operator; the caller aborts the instance (site-pool failures fail over,
+// lease failures abort the query).
+func (c *Context) ReserveMem(n physical.Node, bytes int64) error {
+	if bytes <= 0 {
+		return nil
+	}
+	if st := c.opstat(n); st != nil {
+		st.addMem(bytes)
+	}
+	c.memLocal += bytes
+	if c.SiteMemBytes > 0 && c.memLocal > c.SiteMemBytes {
+		return fmt.Errorf("exec: %s: site %d memory pool (%d bytes) exhausted: %w",
+			n.Describe(), c.Host, c.SiteMemBytes, faults.ErrSiteMem)
+	}
+	if c.Mem != nil {
+		if err := c.Mem.Reserve(bytes); err != nil {
+			return fmt.Errorf("exec: %s: %w", n.Describe(), err)
+		}
+		c.memCharged += bytes
+	}
+	return nil
+}
+
+// ChargedMem returns the bytes this attempt reserved on the query lease;
+// the scheduler releases them when the attempt finishes (success or
+// failure), so the shared pool tracks live operator state.
+func (c *Context) ChargedMem() int64 { return c.memCharged }
+
+// estRowBytes estimates the in-memory footprint of a materialized row set
+// from the modeled width of a small sample. It is a pure function of the
+// rows, so memory charges are identical at every worker count.
+func estRowBytes(rows []types.Row) int64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	sample := len(rows)
+	if sample > 16 {
+		sample = 16
+	}
+	var w int64
+	for _, r := range rows[:sample] {
+		w += r.Width()
+	}
+	return w / int64(sample) * int64(len(rows))
+}
+
 func (c *Context) work(units float64) {
 	c.CPUWork += units
 	if c.Obs != nil && len(c.opStack) > 0 {
@@ -398,6 +480,12 @@ func (o *OpStatsRef) addBuild(n int64) {
 func (o *OpStatsRef) addPruned(n int64) {
 	if o != nil {
 		o.RowsPruned += n
+	}
+}
+
+func (o *OpStatsRef) addMem(n int64) {
+	if o != nil {
+		o.PeakMemBytes += n
 	}
 }
 
@@ -576,6 +664,10 @@ func execNode(n physical.Node, ctx *Context) ([]types.Row, error) {
 			return nil, err
 		}
 		ctx.opstat(n).addIn(int64(len(in)))
+		// The sort materializes a full copy of its input.
+		if err := ctx.ReserveMem(n, estRowBytes(in)); err != nil {
+			return nil, err
+		}
 		n := float64(len(in))
 		if n > 1 {
 			ctx.work(n * cost.RPTC)
@@ -606,7 +698,7 @@ func execNode(n physical.Node, ctx *Context) ([]types.Row, error) {
 			return nil, err
 		}
 		ctx.opstat(n).addIn(int64(len(in)))
-		return runHashAggregate(t.GroupBy, t.Aggs, in, ctx)
+		return runHashAggregate(t, t.GroupBy, t.Aggs, in, ctx)
 
 	case *physical.SortAggregate:
 		in, err := runNode(t.Inputs()[0], ctx)
@@ -614,7 +706,7 @@ func execNode(n physical.Node, ctx *Context) ([]types.Row, error) {
 			return nil, err
 		}
 		ctx.opstat(n).addIn(int64(len(in)))
-		return runSortAggregate(t.GroupBy, t.Aggs, in, ctx)
+		return runSortAggregate(t, t.GroupBy, t.Aggs, in, ctx)
 
 	case *physical.Join:
 		left, err := runNode(t.Inputs()[0], ctx)
@@ -779,6 +871,10 @@ func runReceiver(r *physical.Receiver, ctx *Context) ([]types.Row, error) {
 	out := make([]types.Row, 0, total)
 	for _, b := range batches {
 		out = append(out, b.Rows...)
+	}
+	// The receiver buffers every inbound batch before the consumer runs.
+	if err := ctx.ReserveMem(r, estRowBytes(out)); err != nil {
+		return nil, err
 	}
 	ctx.work(float64(total) * cost.RPTC)
 	if len(r.MergeKeys) > 0 && len(batches) > 1 {

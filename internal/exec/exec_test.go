@@ -129,7 +129,7 @@ func TestHashAggregateSitewise(t *testing.T) {
 }
 
 func TestScalarAggregateEmptyInput(t *testing.T) {
-	rows, err := runHashAggregate(nil,
+	rows, err := runHashAggregate(nil, nil,
 		[]expr.AggCall{{Func: expr.AggCount}}, nil, ctxAt(testStore(t, 1), 0))
 	if err != nil {
 		t.Fatal(err)
@@ -477,11 +477,11 @@ func TestSortAggregateMatchesHash(t *testing.T) {
 		{Func: expr.AggSum, Arg: expr.NewColRef(1, types.KindFloat, ""), Name: "s"},
 		{Func: expr.AggMin, Arg: expr.NewColRef(1, types.KindFloat, ""), Name: "m"},
 	}
-	h, err := runHashAggregate([]int{0}, aggs, in, ctxAt(st, 0))
+	h, err := runHashAggregate(nil, []int{0}, aggs, in, ctxAt(st, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := runSortAggregate([]int{0}, aggs, in, ctxAt(st, 0))
+	s, err := runSortAggregate(nil, []int{0}, aggs, in, ctxAt(st, 0))
 	if err != nil {
 		t.Fatal(err)
 	}

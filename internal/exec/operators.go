@@ -13,7 +13,7 @@ import (
 
 // runHashAggregate groups rows with a hash table. A scalar aggregate (no
 // group columns) always emits exactly one row, even on empty input.
-func runHashAggregate(groupBy []int, aggs []expr.AggCall, in []types.Row, ctx *Context) ([]types.Row, error) {
+func runHashAggregate(node physical.Node, groupBy []int, aggs []expr.AggCall, in []types.Row, ctx *Context) ([]types.Row, error) {
 	ctx.work(float64(len(in)) * (cost.RPTC + cost.HAC + cost.RCC))
 	type group struct {
 		key  types.Row
@@ -33,10 +33,24 @@ func runHashAggregate(groupBy []int, aggs []expr.AggCall, in []types.Row, ctx *C
 	// rehash its way up from empty on every aggregation.
 	groups := make(map[uint64][]*group, len(in)/4+1)
 	order := make([]*group, 0, len(in)/4+1)
+	// Group state accrues for the whole input scan; charge it against the
+	// query's memory budget as the table grows, using the input row width
+	// as the per-group estimate (key + accumulators are built from one row).
+	var stateW int64
+	if len(in) > 0 {
+		stateW = in[0].Width()
+	}
+	charged := 0
 	for i, r := range in {
 		if i%4096 == 4095 {
 			if err := ctx.cancelled(); err != nil {
 				return nil, err
+			}
+			if len(order) > charged {
+				if err := ctx.ReserveMem(node, int64(len(order)-charged)*stateW); err != nil {
+					return nil, err
+				}
+				charged = len(order)
 			}
 		}
 		h := r.Hash(groupBy)
@@ -54,6 +68,11 @@ func runHashAggregate(groupBy []int, aggs []expr.AggCall, in []types.Row, ctx *C
 		}
 		for _, acc := range g.accs {
 			acc.Add(r)
+		}
+	}
+	if len(order) > charged {
+		if err := ctx.ReserveMem(node, int64(len(order)-charged)*stateW); err != nil {
+			return nil, err
 		}
 	}
 	if len(groupBy) == 0 && len(order) == 0 {
@@ -84,11 +103,13 @@ func keyMatches(key types.Row, r types.Row, groupBy []int) bool {
 	return true
 }
 
-// runSortAggregate streams over input sorted by the group columns.
-func runSortAggregate(groupBy []int, aggs []expr.AggCall, in []types.Row, ctx *Context) ([]types.Row, error) {
+// runSortAggregate streams over input sorted by the group columns. It
+// holds one group's state at a time, so unlike the hash variant it charges
+// no memory beyond its (input-bounded) output.
+func runSortAggregate(node physical.Node, groupBy []int, aggs []expr.AggCall, in []types.Row, ctx *Context) ([]types.Row, error) {
 	ctx.work(float64(len(in)) * (cost.RPTC + cost.RCC))
 	if len(groupBy) == 0 {
-		return runHashAggregate(groupBy, aggs, in, ctx)
+		return runHashAggregate(node, groupBy, aggs, in, ctx)
 	}
 	var out []types.Row
 	var accs []expr.Accumulator
@@ -174,19 +195,31 @@ func condTrue(cond expr.Expr, row types.Row) bool {
 	return v.K == types.KindBool && v.Bool()
 }
 
-// emitGuard charges work per emitted join row and aborts runaway outputs
-// (a join can produce quadratically many rows from linear inputs, so
-// input-based charging alone cannot bound it).
+// emitGuard charges work and estimated memory per emitted join row and
+// aborts runaway outputs (a join can produce quadratically many rows from
+// linear inputs, so input-based charging alone cannot bound it). Memory is
+// charged in the same 4096-row chunks as work, so a mis-planned join trips
+// its query's budget long before the host allocator feels it.
 type emitGuard struct {
-	ctx     *Context
+	ctx  *Context
+	node physical.Node
+	// width is the estimated bytes per output row, sampled from the first
+	// emitted row (joins emit uniformly shaped rows).
+	width   int64
 	pending int
 }
 
-func (g *emitGuard) add(n int) error {
-	g.pending += n
+func (g *emitGuard) addRow(row types.Row) error {
+	if g.width == 0 {
+		g.width = row.Width()
+	}
+	g.pending++
 	if g.pending >= 4096 {
 		g.ctx.work(float64(g.pending) * cost.RPTC)
 		g.ctx.rowsEmitted += int64(g.pending)
+		if err := g.ctx.ReserveMem(g.node, int64(g.pending)*g.width); err != nil {
+			return err
+		}
 		g.pending = 0
 		if g.ctx.overLimit() {
 			return ErrWorkLimit
@@ -201,7 +234,12 @@ func (g *emitGuard) add(n int) error {
 	return nil
 }
 
-func (g *emitGuard) flush() { g.ctx.work(float64(g.pending) * cost.RPTC); g.pending = 0 }
+func (g *emitGuard) flush() error {
+	g.ctx.work(float64(g.pending) * cost.RPTC)
+	err := g.ctx.ReserveMem(g.node, int64(g.pending)*g.width)
+	g.pending = 0
+	return err
+}
 
 // runNestedLoopJoin is the fallback for arbitrary conditions. It is the
 // operator that makes the IC baseline's mis-planned N×M joins exceed the
@@ -218,7 +256,7 @@ func runNestedLoopJoin(j *physical.Join, left, right []types.Row, ctx *Context) 
 	} else if len(j.Inputs()) == 2 {
 		rightW = len(j.Inputs()[1].Schema())
 	}
-	guard := &emitGuard{ctx: ctx}
+	guard := &emitGuard{ctx: ctx, node: j}
 	// The inner loop may match nothing for long stretches, so the emit
 	// guard alone cannot observe cancellation; count condition
 	// evaluations and check every 64Ki of them.
@@ -240,7 +278,7 @@ func runNestedLoopJoin(j *physical.Join, left, right []types.Row, ctx *Context) 
 			switch j.Type {
 			case logical.JoinInner, logical.JoinLeft:
 				out = append(out, row)
-				if err := guard.add(1); err != nil {
+				if err := guard.addRow(row); err != nil {
 					return nil, err
 				}
 			case logical.JoinSemi:
@@ -259,7 +297,9 @@ func runNestedLoopJoin(j *physical.Join, left, right []types.Row, ctx *Context) 
 			}
 		}
 	}
-	guard.flush()
+	if err := guard.flush(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -280,6 +320,10 @@ func runHashJoin(j *physical.Join, left, right []types.Row, ctx *Context) ([]typ
 	}
 	ctx.work((float64(len(left)) + float64(len(right))) * (cost.RCC + cost.RPTC + cost.HAC))
 	ctx.opstat(j).addBuild(int64(len(right)))
+	// The build table pins the whole right input for the probe's duration.
+	if err := ctx.ReserveMem(j, estRowBytes(right)); err != nil {
+		return nil, err
+	}
 	leftCols := make([]int, len(j.Keys))
 	rightCols := make([]int, len(j.Keys))
 	for i, k := range j.Keys {
@@ -307,7 +351,7 @@ func runHashJoin(j *physical.Join, left, right []types.Row, ctx *Context) ([]typ
 	}
 	// Equi-joins on key-ish columns emit about one row per probe row.
 	out := make([]types.Row, 0, len(left))
-	guard := &emitGuard{ctx: ctx}
+	guard := &emitGuard{ctx: ctx, node: j}
 	for i, l := range left {
 		if i%4096 == 4095 {
 			if err := ctx.cancelled(); err != nil {
@@ -329,7 +373,7 @@ func runHashJoin(j *physical.Join, left, right []types.Row, ctx *Context) ([]typ
 				switch j.Type {
 				case logical.JoinInner, logical.JoinLeft:
 					out = append(out, row)
-					if err := guard.add(1); err != nil {
+					if err := guard.addRow(row); err != nil {
 						return nil, err
 					}
 				case logical.JoinSemi:
@@ -349,7 +393,9 @@ func runHashJoin(j *physical.Join, left, right []types.Row, ctx *Context) ([]typ
 			}
 		}
 	}
-	guard.flush()
+	if err := guard.flush(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -392,7 +438,7 @@ func runMergeJoin(j *physical.Join, left, right []types.Row, ctx *Context) ([]ty
 		return 0
 	}
 	var out []types.Row
-	guard := &emitGuard{ctx: ctx}
+	guard := &emitGuard{ctx: ctx, node: j}
 	// emitUnmatched handles a left row with no qualifying right partner.
 	emitUnmatched := func(l types.Row) {
 		switch j.Type {
@@ -441,7 +487,7 @@ func runMergeJoin(j *physical.Join, left, right []types.Row, ctx *Context) ([]ty
 				matched = true
 				if j.Type == logical.JoinInner || j.Type == logical.JoinLeft {
 					out = append(out, row)
-					if err := guard.add(1); err != nil {
+					if err := guard.addRow(row); err != nil {
 						return nil, err
 					}
 				} else {
@@ -458,6 +504,8 @@ func runMergeJoin(j *physical.Join, left, right []types.Row, ctx *Context) ([]ty
 		li++
 		// Do not advance ri: the next left row may share the key group.
 	}
-	guard.flush()
+	if err := guard.flush(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }

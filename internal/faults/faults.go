@@ -14,8 +14,10 @@
 //	crash=S@N       site S crashes when instance ordinal N starts there
 //	slow=SxF        site S runs F times slower (F >= 1, float)
 //	sendfail=R      every transport send fails with probability R (0..1)
+//	mem=S@B         site S's memory pool shrinks to B bytes (> 0); any
+//	                instance charging past it fails with ErrSiteMem
 //
-// Example: "seed=7;crash=2@3;slow=1x2.5;sendfail=0.05".
+// Example: "seed=7;crash=2@3;slow=1x2.5;sendfail=0.05;mem=0@65536".
 package faults
 
 import (
@@ -33,12 +35,16 @@ var (
 	ErrSiteCrash = errors.New("faults: injected site crash")
 	// ErrSendFail reports an injected transport send failure.
 	ErrSendFail = errors.New("faults: injected transport send failure")
+	// ErrSiteMem reports an instance that exhausted its site's injected
+	// memory pool (the mem=S@B term). The site itself stays alive; only
+	// instances whose state outgrows the pool fail there.
+	ErrSiteMem = errors.New("faults: injected site memory exhaustion")
 )
 
 // Injected reports whether err is (or wraps) an injected fault, i.e. a
 // failure the retry scheduler may recover from by failing over.
 func Injected(err error) bool {
-	return errors.Is(err, ErrSiteCrash) || errors.Is(err, ErrSendFail)
+	return errors.Is(err, ErrSiteCrash) || errors.Is(err, ErrSendFail) || errors.Is(err, ErrSiteMem)
 }
 
 // Plan is one deterministic fault scenario. The zero value (and a nil
@@ -59,6 +65,11 @@ type Plan struct {
 	// send attempt fails. Retries rehash with their attempt number, so a
 	// failed send can succeed when retried.
 	SendFailRate float64
+	// MemLimits maps site → memory pool size in bytes. An instance whose
+	// charged operator state exceeds its host site's pool fails with
+	// ErrSiteMem; the failure is a pure function of the instance's charges,
+	// so it is identical at every worker count.
+	MemLimits map[int]int64
 }
 
 // Parse decodes the string spec form. An empty spec returns (nil, nil).
@@ -130,6 +141,26 @@ func Parse(spec string) (*Plan, error) {
 				return nil, fmt.Errorf("faults: bad sendfail rate %q (want [0,1))", val)
 			}
 			p.SendFailRate = r
+		case "mem":
+			sitePart, bytesPart, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("faults: mem %q is not SITE@BYTES", val)
+			}
+			site, err := parseSite(sitePart)
+			if err != nil {
+				return nil, err
+			}
+			b, err := strconv.ParseInt(strings.TrimSpace(bytesPart), 10, 64)
+			if err != nil || b <= 0 {
+				return nil, fmt.Errorf("faults: bad mem bytes %q (want > 0)", bytesPart)
+			}
+			if p.MemLimits == nil {
+				p.MemLimits = make(map[int]int64)
+			}
+			if prev, dup := p.MemLimits[site]; dup {
+				return nil, fmt.Errorf("faults: site %d has two mem limits (@%d and @%d)", site, prev, b)
+			}
+			p.MemLimits[site] = b
 		default:
 			return nil, fmt.Errorf("faults: unknown term %q", key)
 		}
@@ -158,6 +189,9 @@ func (p *Plan) String() string {
 	}
 	for _, site := range sortedKeys(p.Slowdowns) {
 		terms = append(terms, fmt.Sprintf("slow=%dx%g", site, p.Slowdowns[site]))
+	}
+	for _, site := range sortedKeys(p.MemLimits) {
+		terms = append(terms, fmt.Sprintf("mem=%d@%d", site, p.MemLimits[site]))
 	}
 	if p.SendFailRate > 0 {
 		terms = append(terms, fmt.Sprintf("sendfail=%g", p.SendFailRate))
@@ -209,6 +243,15 @@ func (in *Injector) Slowdown(site int) float64 {
 		return f
 	}
 	return 1
+}
+
+// MemLimit returns the injected memory pool size for a site, or 0 when
+// the site's memory is unlimited.
+func (in *Injector) MemLimit(site int) int64 {
+	if in == nil || in.plan.MemLimits == nil {
+		return 0
+	}
+	return in.plan.MemLimits[site]
 }
 
 // SendFailRate returns the plan's transport failure probability.

@@ -7,7 +7,7 @@ import (
 )
 
 func TestParseFull(t *testing.T) {
-	p, err := Parse("seed=7; crash=2@3; slow=1x2.5; sendfail=0.05; crash=0@9")
+	p, err := Parse("seed=7; crash=2@3; slow=1x2.5; sendfail=0.05; crash=0@9; mem=1@65536")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,6 +22,23 @@ func TestParseFull(t *testing.T) {
 	}
 	if p.SendFailRate != 0.05 {
 		t.Errorf("sendfail = %v", p.SendFailRate)
+	}
+	if p.MemLimits[1] != 65536 {
+		t.Errorf("mem limits = %v", p.MemLimits)
+	}
+}
+
+func TestMemLimitInjector(t *testing.T) {
+	in := New(&Plan{MemLimits: map[int]int64{2: 4096}})
+	if got := in.MemLimit(2); got != 4096 {
+		t.Errorf("MemLimit(2) = %d", got)
+	}
+	if got := in.MemLimit(0); got != 0 {
+		t.Errorf("MemLimit(0) = %d, want 0 (unlimited)", got)
+	}
+	var nilIn *Injector
+	if got := nilIn.MemLimit(2); got != 0 {
+		t.Errorf("nil injector MemLimit = %d", got)
 	}
 }
 
@@ -48,6 +65,12 @@ func TestParseErrors(t *testing.T) {
 		"seed=abc",            // bad seed
 		"bogus=1",             // unknown key
 		"crash",               // not key=value
+		"mem=1",               // missing @bytes
+		"mem=1@0",             // zero pool
+		"mem=1@-1",            // negative pool
+		"mem=x@4096",          // bad site
+		"mem=1@x",             // bad bytes
+		"mem=1@1;mem=1@2",     // duplicate site
 	}
 	for _, spec := range bad {
 		if _, err := Parse(spec); err == nil {
@@ -61,6 +84,8 @@ func TestStringRoundTrip(t *testing.T) {
 		"seed=7;crash=2@3;slow=1x2.5;sendfail=0.05",
 		"seed=1;crash=0@0",
 		"seed=42;sendfail=0.25",
+		"seed=3;slow=0x2;mem=1@65536",
+		"mem=0@1;mem=3@9223372036854775807",
 	}
 	for _, spec := range specs {
 		p, err := Parse(spec)
@@ -138,6 +163,9 @@ func TestInjectedErrors(t *testing.T) {
 	}
 	if !Injected(ErrSendFail) {
 		t.Error("send failure not detected")
+	}
+	if !Injected(fmt.Errorf("wrap: %w", ErrSiteMem)) {
+		t.Error("wrapped site-memory exhaustion not detected")
 	}
 	if Injected(errors.New("plain")) {
 		t.Error("plain error detected as injected")

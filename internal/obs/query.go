@@ -37,6 +37,11 @@ type OpStats struct {
 	// operator's output before they were batched or shipped (DESIGN.md
 	// §13). RowsOut already excludes them.
 	RowsPruned int64 `json:"rows_pruned,omitempty"`
+	// PeakMemBytes is the governed-memory high-water mark: the most
+	// estimated state bytes any one instance of this operator charged
+	// against its query's memory lease (DESIGN.md §14). Zero when the
+	// operator holds no pipeline-breaking state.
+	PeakMemBytes int64 `json:"peak_mem_bytes,omitempty"`
 	// Work is the modeled executor work charged by this operator itself
 	// (children excluded).
 	Work float64 `json:"work"`
@@ -114,6 +119,9 @@ func (fo *FragmentObs) mergeOps(in *InstanceObs) {
 		if src.PeakRows > dst.PeakRows {
 			dst.PeakRows = src.PeakRows
 		}
+		if src.PeakMemBytes > dst.PeakMemBytes {
+			dst.PeakMemBytes = src.PeakMemBytes
+		}
 	}
 }
 
@@ -132,6 +140,11 @@ const (
 	SpanSkipped SpanStatus = "skipped"
 	// SpanFailed: the attempt failed terminally.
 	SpanFailed SpanStatus = "failed"
+	// SpanHedged: the attempt lost a hedged race — either the primary
+	// superseded by a faster speculative replica attempt, or the
+	// speculative attempt the primary outran. Its shipments were rolled
+	// back (DESIGN.md §14).
+	SpanHedged SpanStatus = "hedged"
 )
 
 // Span is one fragment-instance attempt in the per-query distributed
@@ -151,7 +164,11 @@ type Span struct {
 	StartNanos int64      `json:"start_ns"`
 	EndNanos   int64      `json:"end_ns"`
 	Status     SpanStatus `json:"status"`
-	Error      string     `json:"error,omitempty"`
+	// Hedge marks a speculative straggler attempt launched by the hedging
+	// scheduler. Each launched hedge adds exactly one Hedge span, keeping
+	// the invariant spans == instances + retries + hedges.
+	Hedge bool   `json:"hedge,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 // Edge is one exchange edge of the fragment DAG: producer fragment →

@@ -89,6 +89,27 @@ type Retry struct {
 	Bytes float64
 }
 
+// Hedge is one hedged straggler mitigation (DESIGN.md §14): when an
+// instance's charged work exceeded the wave median by the configured
+// factor, a speculative attempt launched on the next replica site after
+// DelayWork work-units of modeled time. Exactly one attempt's outputs
+// were kept; the loser's work (LostWork) and discarded shipments
+// (LostBytes) are charged to the totals as speculation waste.
+type Hedge struct {
+	Frag    int
+	Site    int
+	Variant int
+	// DelayWork is the straggler-detection threshold in work units: how
+	// much modeled work elapsed before the speculative attempt launched.
+	DelayWork float64
+	// LostWork / LostBytes are the losing attempt's wasted effort.
+	LostWork  float64
+	LostBytes float64
+	// Won reports that the speculative attempt beat the primary (the
+	// instance's recorded Work is then the hedge attempt's work).
+	Won bool
+}
+
 // FilterBuild is one site's share of a runtime join filter (DESIGN.md
 // §13): the pre-pass ran the join's build subtree at Site before wave 0,
 // spent Work units constructing the key filter, and shipped Bytes of
@@ -123,6 +144,10 @@ type Trace struct {
 	// Filters records runtime join-filter builds; sends over a filtered
 	// exchange are floored at the filter's ready time.
 	Filters []FilterBuild
+	// Hedges records hedged straggler attempts; a won hedge replaces the
+	// straggler's elapsed time with the speculative attempt's launch delay
+	// plus its (fast-replica) work.
+	Hedges []Hedge
 	// RootFrag is the fragment whose finish time is the query time.
 	RootFrag int
 }
@@ -166,6 +191,18 @@ func Makespan(tr *Trace, p Params) time.Duration {
 		}
 	}
 
+	// A won hedge changes how its instance's elapsed time is computed: the
+	// kept attempt only started after the detection delay (plus one extra
+	// instance start for the speculative thread), but then ran at the
+	// replica's speed — which is what cuts a slow site's straggler tail.
+	hedged := make(map[instKey]*Hedge)
+	for i := range tr.Hedges {
+		h := &tr.Hedges[i]
+		if h.Won {
+			hedged[instKey{h.Frag, h.Site, h.Variant}] = h
+		}
+	}
+
 	// Index sends by (consumer fragment, site).
 	type edgeKey struct{ frag, site int }
 	arrivals := make(map[edgeKey][]Send)
@@ -201,6 +238,10 @@ func Makespan(tr *Trace, p Params) time.Duration {
 				contention = float64(t) / float64(p.CoresPerSite)
 			}
 			elapsed := p.ThreadOverheadSec + in.Work/p.WorkPerSec*contention*load
+			if h := hedged[instKey{fid, in.Site, in.Variant}]; h != nil {
+				elapsed = 2*p.ThreadOverheadSec + h.DelayWork/p.WorkPerSec*load +
+					in.Work/p.WorkPerSec*contention*load
+			}
 			elapsed += recovery[instKey{fid, in.Site, in.Variant}]
 			f := ready + elapsed
 			finish[instKey{fid, in.Site, in.Variant}] = f
@@ -228,6 +269,10 @@ func (tr *Trace) TotalWork() float64 {
 	for _, fb := range tr.Filters {
 		w += fb.Work
 	}
+	// Speculation waste: the losing side of every hedge race.
+	for _, h := range tr.Hedges {
+		w += h.LostWork
+	}
 	return w
 }
 
@@ -245,6 +290,9 @@ func (tr *Trace) TotalBytes() float64 {
 	// filters a net loss).
 	for _, fb := range tr.Filters {
 		b += fb.Bytes
+	}
+	for _, h := range tr.Hedges {
+		b += h.LostBytes
 	}
 	return b
 }
