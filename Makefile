@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench chaos overload ci
+.PHONY: build test race vet bench chaos overload plancache benchgate benchgate-update fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -35,5 +35,32 @@ chaos:
 # any violation.
 overload:
 	$(GO) run ./cmd/benchrunner -exp overload -sf 0.005 -sites 4 -metrics overload-metrics.json
+
+# The plan-cache smoke check (DESIGN.md §15): hot runs must skip planning
+# (mean hot plan time ≤ 10% of cold) with rows byte-identical cache
+# on/off. Exits non-zero on any violation.
+plancache:
+	$(GO) run ./cmd/benchrunner -exp plancache -sf 0.02 -sites 4 -metrics plancache-metrics.json
+
+# The benchmark-regression gate: measure the committed BENCH_gate.json
+# query set and fail on >tolerance modeled-time or shipped-bytes
+# regressions. The measured signals are deterministic simnet values, so
+# the gate is host-independent.
+benchgate:
+	$(GO) run ./cmd/benchrunner -exp benchgate -metrics benchgate-metrics.json
+
+# Refresh the committed baseline after an intentional performance change;
+# commit the resulting BENCH_gate.json diff.
+benchgate-update:
+	$(GO) run ./cmd/benchrunner -exp benchgate -update-baseline
+
+# Run every fuzz target briefly, seeded from testdata/fuzz. `go test
+# -fuzz` accepts one target per invocation, hence the loop.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	@for t in $$($(GO) test -list 'Fuzz.*' . | grep '^Fuzz'); do \
+		echo "fuzzing $$t for $(FUZZTIME)"; \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) . || exit 1; \
+	done
 
 ci: vet race

@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	benchrunner -exp fig7|fig8|fig9|fig10|fig11|table3|failures|ablate|obs|filters|overload|all
+//	benchrunner -exp fig7|fig8|fig9|fig10|fig11|table3|failures|ablate|obs|filters|overload|plancache|benchgate|all
 //	            [-sf 0.005,0.01] [-sites 4,8] [-par 0]
-//	            [-backups 0] [-faults SPEC] [-timeout 0] [-filters]
+//	            [-backups 0] [-faults SPEC] [-timeout 0] [-filters] [-plancache 0]
 //	            [-system ic+m] [-queries 1,3] [-metrics FILE] [-trace FILE]
 //	            [-admission 2] [-clients 8] [-maxmem 0] [-querymem 0] [-hedge 2]
+//	            [-baseline BENCH_gate.json] [-update-baseline]
 //
 // The obs experiment runs the selected TPC-H queries once on one system
 // and emits observability artifacts: -metrics writes the per-query and
@@ -33,9 +34,24 @@
 // between the two runs, or if Q3 fails to ship fewer bytes with filters
 // on — the CI filters-smoke job relies on that.
 //
-// -filters enables runtime join-filter pushdown for the table/figure
-// experiments (the modeled times then include filter build cost and the
-// shipped-volume savings).
+// The plancache experiment is the plan-cache smoke check (DESIGN.md §15):
+// each query runs once cold and ~20 times hot against a cache-enabled
+// engine, plus once against a cache-disabled engine. It exits non-zero
+// unless every hot run skipped planning, the mean hot plan-acquisition
+// time is at least 90% below the cold planning time, and the rows are
+// byte-identical cache on and off — the CI plancache-smoke job relies on
+// that.
+//
+// The benchgate experiment is the CI benchmark-regression gate: it runs
+// the baseline file's query set and compares the deterministic modeled
+// times and shipped bytes against the committed BENCH_gate.json, failing
+// on any regression beyond the file's tolerance. -update-baseline rewrites
+// the baseline from the current measurements (commit the diff).
+//
+// -filters enables runtime join-filter pushdown and -plancache a plan
+// cache of the given capacity for the table/figure experiments (the
+// modeled times then include filter build cost and the shipped-volume
+// savings).
 //
 // Response times are deterministic modeled times from the simnet cost
 // clock (see DESIGN.md), so runs are reproducible across hosts — and
@@ -67,7 +83,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table3, failures, ablate, scaling, obs, filters, overload, all")
+	exp := flag.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table3, failures, ablate, scaling, obs, filters, overload, plancache, benchgate, all")
 	sfs := flag.String("sf", "0.005,0.01", "comma-separated scale factors")
 	sites := flag.String("sites", "4,8", "comma-separated site counts")
 	par := flag.Int("par", 0, "host execution parallelism: 0 = GOMAXPROCS, 1 = sequential")
@@ -84,6 +100,9 @@ func main() {
 	maxmem := flag.Int64("maxmem", 0, "overload experiment: engine memory pool in bytes (0 = auto-size to ~2 queries)")
 	querymem := flag.Int64("querymem", 0, "overload experiment: per-query memory budget in bytes (0 = unlimited)")
 	hedge := flag.Float64("hedge", 2, "overload experiment: hedge factor over the wave median")
+	plancache := flag.Int("plancache", 0, "plan cache capacity for the table/figure experiments (0 disables)")
+	baseline := flag.String("baseline", "BENCH_gate.json", "benchgate experiment: committed baseline file")
+	updateBaseline := flag.Bool("update-baseline", false, "benchgate experiment: rewrite the baseline from current measurements")
 	flag.Parse()
 
 	plan, err := gignite.ParseFaults(*faultSpec)
@@ -97,6 +116,7 @@ func main() {
 	opts.Env.Faults = plan
 	opts.Env.Timeout = *timeout
 	opts.Env.Filters = *filters
+	opts.Env.PlanCache = *plancache
 	for _, s := range strings.Split(*sfs, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 		if err != nil {
@@ -122,6 +142,14 @@ func main() {
 	}
 	if *exp == "overload" {
 		runOverload(opts, *admission, *clients, *maxmem, *querymem, *hedge, *metricsOut)
+		return
+	}
+	if *exp == "plancache" {
+		runPlanCache(opts, *queries, *metricsOut)
+		return
+	}
+	if *exp == "benchgate" {
+		runBenchGate(opts, *baseline, *metricsOut, *updateBaseline)
 		return
 	}
 
@@ -255,7 +283,7 @@ func runFilters(opts harness.Options, queryList string) {
 	fmt.Printf("runtime join-filter smoke: IC+ sf=%g sites=%d\n", sf, sites)
 	fmt.Printf("%-5s %8s %14s %14s %12s %12s %8s %8s\n",
 		"query", "rows", "bytes_off", "bytes_on", "modeled_off", "modeled_on", "filters", "pruned")
-	failed := false
+	sk := &smoke{name: "filters"}
 	for _, id := range ids {
 		q := tpch.QueryByID(id)
 		if q == nil {
@@ -274,19 +302,15 @@ func runFilters(opts harness.Options, queryList string) {
 			base.Modeled.Round(time.Microsecond), res.Modeled.Round(time.Microsecond),
 			res.Stats.FiltersBuilt, res.Stats.RowsPruned)
 		if rowsText(base.Rows) != rowsText(res.Rows) {
-			fmt.Fprintf(os.Stderr, "benchrunner: filters: Q%d results diverge with filters on (%d vs %d rows)\n",
+			sk.failf("Q%d results diverge with filters on (%d vs %d rows)",
 				id, len(base.Rows), len(res.Rows))
-			failed = true
 		}
 		if id == 3 && res.Stats.BytesShipped >= base.Stats.BytesShipped {
-			fmt.Fprintf(os.Stderr, "benchrunner: filters: Q3 shipped bytes did not drop (%.0f -> %.0f)\n",
+			sk.failf("Q3 shipped bytes did not drop (%.0f -> %.0f)",
 				base.Stats.BytesShipped, res.Stats.BytesShipped)
-			failed = true
 		}
 	}
-	if failed {
-		os.Exit(1)
-	}
+	sk.exit()
 }
 
 // runOverload is the resource-governance smoke check (DESIGN.md §14). It
@@ -380,11 +404,10 @@ func runOverload(opts harness.Options, admission, clients int, maxmem, querymem 
 		return succ, shed, errs
 	}
 
-	failed := false
+	sk := &smoke{name: "overload"}
 	report := func(phase string, errs []error) {
 		for _, err := range errs {
-			fmt.Fprintf(os.Stderr, "benchrunner: overload: phase %s: %v\n", phase, err)
-			failed = true
+			sk.failf("phase %s: %v", phase, err)
 		}
 	}
 
@@ -398,8 +421,7 @@ func runOverload(opts harness.Options, admission, clients int, maxmem, querymem 
 	succ, shed, errs := race(govA)
 	report("A", errs)
 	if succ == 0 {
-		fmt.Fprintln(os.Stderr, "benchrunner: overload: phase A admitted nothing")
-		failed = true
+		sk.failf("phase A admitted nothing")
 	}
 	fmt.Printf("phase A (shed):  %d/%d admitted, %d shed with ErrOverloaded\n", succ, clients, shed)
 
@@ -413,9 +435,8 @@ func runOverload(opts harness.Options, admission, clients int, maxmem, querymem 
 	succ, shed, errs = race(govB)
 	report("B", errs)
 	if succ != clients {
-		fmt.Fprintf(os.Stderr, "benchrunner: overload: phase B: %d/%d admitted (%d shed); all must queue and succeed\n",
+		sk.failf("phase B: %d/%d admitted (%d shed); all must queue and succeed",
 			succ, clients, shed)
-		failed = true
 	}
 	fmt.Printf("phase B (queue): %d/%d admitted through the FIFO queue\n", succ, clients)
 
@@ -445,21 +466,18 @@ func runOverload(opts harness.Options, admission, clients int, maxmem, querymem 
 			fatalf("overload: phase C hedged Q%d: %v", id, err)
 		}
 		if rowsText(res.Rows) != rowsText(base.Rows) {
-			fmt.Fprintf(os.Stderr, "benchrunner: overload: phase C: Q%d rows differ with hedging on\n", id)
-			failed = true
+			sk.failf("phase C: Q%d rows differ with hedging on", id)
 		}
 		modeledBase += base.Modeled
 		modeledHedge += res.Modeled
 		hedgesWon += res.Stats.HedgesWon
 	}
 	if hedgesWon < 1 {
-		fmt.Fprintln(os.Stderr, "benchrunner: overload: phase C: no hedge won its race")
-		failed = true
+		sk.failf("phase C: no hedge won its race")
 	}
 	if modeledHedge >= modeledBase {
-		fmt.Fprintf(os.Stderr, "benchrunner: overload: phase C: hedging did not cut the modeled makespan (%v vs %v)\n",
+		sk.failf("phase C: hedging did not cut the modeled makespan (%v vs %v)",
 			modeledHedge, modeledBase)
-		failed = true
 	}
 	fmt.Printf("phase C (hedge): modeled %v -> %v, %d hedge race(s) won\n",
 		modeledBase.Round(time.Microsecond), modeledHedge.Round(time.Microsecond), hedgesWon)
@@ -483,7 +501,27 @@ func runOverload(opts harness.Options, admission, clients int, maxmem, querymem 
 		}
 		fmt.Fprintf(os.Stderr, "benchrunner: wrote metrics to %s\n", metricsOut)
 	}
-	if failed {
+	sk.exit()
+}
+
+// smoke owns the exit-code convention shared by the CI smoke experiments
+// (filters, overload, plancache, benchgate): every violation is reported
+// to stderr prefixed with the experiment name, the experiment keeps
+// running so one invocation surfaces all failures, and exit() terminates
+// the process non-zero when anything was reported.
+type smoke struct {
+	name   string
+	failed bool
+}
+
+func (s *smoke) failf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchrunner: %s: %s\n", s.name, fmt.Sprintf(format, args...))
+	s.failed = true
+}
+
+// exit must be the experiment's last call.
+func (s *smoke) exit() {
+	if s.failed {
 		os.Exit(1)
 	}
 }

@@ -6,12 +6,13 @@
 //
 //	gignite [-system ic|ic+|ic+m] [-sites 4] [-backups 0] [-load tpch|ssb]
 //	        [-sf 0.01] [-slowquery 100ms] [-admission N] [-maxmem BYTES]
-//	        [-querymem BYTES] [-hedge FACTOR]
+//	        [-querymem BYTES] [-hedge FACTOR] [-plancache N]
 //
 // Then type SQL statements terminated by semicolons;
 // \q quits, \t toggles timing output, \m prints the engine metrics
-// snapshot. EXPLAIN ANALYZE <select> prints the executed plan annotated
-// with estimated vs. actual row counts.
+// snapshot, \cache prints plan-cache statistics. EXPLAIN ANALYZE <select>
+// prints the executed plan annotated with estimated vs. actual row
+// counts.
 package main
 
 import (
@@ -39,6 +40,7 @@ func main() {
 	querymem := flag.Int64("querymem", 0, "per-query memory budget in bytes (0 = unlimited)")
 	hedge := flag.Float64("hedge", 0, "hedge straggler instances past this factor over the wave median (0 disables; needs -backups >= 1)")
 	backups := flag.Int("backups", 0, "backup replicas per partition")
+	plancache := flag.Int("plancache", 64, "plan cache capacity in cached plans (0 disables)")
 	flag.Parse()
 
 	var cfg gignite.Config
@@ -60,6 +62,7 @@ func main() {
 	cfg.MemoryBudgetBytes = *maxmem
 	cfg.QueryMemLimitBytes = *querymem
 	cfg.HedgeAfter = *hedge
+	cfg.PlanCacheSize = *plancache
 	if *slow > 0 {
 		cfg.SlowQueryThreshold = *slow
 		cfg.Logger = func(format string, args ...interface{}) {
@@ -87,7 +90,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Fprintf(os.Stderr, "gignite %s shell on %d sites; \\q quits, \\t toggles timing, \\m prints metrics\n",
+	fmt.Fprintf(os.Stderr, "gignite %s shell on %d sites; \\q quits, \\t toggles timing, \\m prints metrics, \\cache prints plan-cache stats\n",
 		strings.ToUpper(*system), *sites)
 	timing := true
 	scanner := bufio.NewScanner(os.Stdin)
@@ -108,6 +111,15 @@ func main() {
 			continue
 		case `\m`:
 			fmt.Print(e.Metrics().Text())
+			prompt()
+			continue
+		case `\cache`:
+			if s, enabled := e.PlanCacheStats(); enabled {
+				fmt.Printf("plan cache: %d/%d plans, %d hits, %d misses, %d evictions\n",
+					s.Size, s.Capacity, s.Hits, s.Misses, s.Evictions)
+			} else {
+				fmt.Println("plan cache: disabled (-plancache 0)")
+			}
 			prompt()
 			continue
 		}

@@ -3,6 +3,9 @@ package gignite
 import (
 	"fmt"
 	"testing"
+
+	"gignite/internal/plancache"
+	"gignite/internal/sql"
 )
 
 // TestRandomQueryDifferential generates seeded random queries over the
@@ -142,6 +145,47 @@ func (g *queryGen) joinAggSelect() string {
 		WHERE e.dept_id = d.dept_id AND s.emp_id = e.id AND %s
 		GROUP BY d.dname ORDER BY n DESC, d.dname LIMIT %d`,
 		g.empPredQ("e."), 1+g.intn(5))
+}
+
+// FuzzParseSQL: the SQL lexer and parser must reject arbitrary input
+// with an error — never panic — and the plan-cache digest must be total
+// and deterministic over the same input (it is computed on raw text
+// before any validation, so it has to survive whatever the parser
+// rejects).
+func FuzzParseSQL(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		";",
+		"SELECT 1",
+		"SELECT * FROM emp WHERE salary > 1000 ORDER BY id LIMIT 5",
+		"SELECT name FROM emp WHERE dept_id = ? AND salary BETWEEN ? AND ?",
+		"SELECT e.name, s.amount FROM emp e, sales s WHERE e.id = s.emp_id",
+		"SELECT dept_id, COUNT(*) FROM emp GROUP BY dept_id HAVING COUNT(*) > 2",
+		"SELECT name FROM emp WHERE id IN (SELECT emp_id FROM sales WHERE amount > ?)",
+		"EXPLAIN SELECT * FROM emp WHERE hired >= DATE '1995-01-01'",
+		"EXPLAIN ANALYZE SELECT AVG(salary) FROM emp",
+		"CREATE TABLE t (a INTEGER, b VARCHAR)",
+		"CREATE INDEX idx ON emp (dept_id)",
+		"INSERT INTO dept VALUES (9, 'ops')",
+		"SELECT 'unterminated",
+		"SELECT * FROM",
+		"SELECT (((1",
+		"SELECT * FROM emp LIMIT ?",
+		"SELECT \x00\xff",
+		"select\tname\nfrom\temp\twhere\tname like 'a%'",
+		"SELECT -1e309, .5, 0x, 1..2 FROM emp",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := sql.Parse(src)
+		if err == nil && stmt == nil {
+			t.Fatalf("Parse(%q) returned nil statement and nil error", src)
+		}
+		if d1, d2 := plancache.Digest(src), plancache.Digest(src); d1 != d2 {
+			t.Fatalf("Digest(%q) not deterministic: %#x vs %#x", src, d1, d2)
+		}
+	})
 }
 
 // FuzzFaultPlanSpec: the fault-plan parser must reject malformed specs

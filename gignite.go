@@ -36,9 +36,11 @@ import (
 	"gignite/internal/governor"
 	"gignite/internal/hep"
 	"gignite/internal/joinfilter"
+	"gignite/internal/expr"
 	"gignite/internal/logical"
 	"gignite/internal/obs"
 	"gignite/internal/physical"
+	"gignite/internal/plancache"
 	"gignite/internal/ref"
 	"gignite/internal/rules"
 	"gignite/internal/simnet"
@@ -56,6 +58,18 @@ type (
 	Value = types.Value
 	// Row is one result tuple.
 	Row = types.Row
+)
+
+// Value constructors, re-exported for prepared-statement arguments
+// (Stmt.Query) and programmatic row building. NewDate takes days since
+// the Unix epoch; prepared parameters also accept a NewString in
+// YYYY-MM-DD form where a DATE is expected.
+var (
+	NewInt    = types.NewInt
+	NewFloat  = types.NewFloat
+	NewString = types.NewString
+	NewBool   = types.NewBool
+	NewDate   = types.NewDate
 )
 
 // Errors surfaced by the engine. ErrPlanBudget and ErrQueryTimeout
@@ -200,6 +214,15 @@ type Config struct {
 	// Results stay byte-identical; only the makespan (and the hedge
 	// counters) change. Requires Backups >= 1 to have anywhere to run.
 	HedgeAfter float64
+	// PlanCacheSize bounds the engine's LRU plan cache in cached plans
+	// (DESIGN.md §15). Cached plans are keyed by a normalized digest of the
+	// statement text, invalidated whenever the catalog version changes
+	// (DDL, ANALYZE), and shared by Exec and prepared statements; every
+	// execution clones the cached plan, so results are byte-identical with
+	// the cache off. 0 disables caching: each SELECT is planned from
+	// scratch. Off in every preset (an extension beyond the paper's
+	// system, mirroring Ignite's fronting plan cache for Calcite).
+	PlanCacheSize int
 	// ExperimentalViews enables CREATE VIEW and view expansion — an
 	// extension beyond the paper's system (Ignite+Calcite rejects views,
 	// which is what excludes TPC-H Q15). Off in every preset so the
@@ -274,6 +297,7 @@ type Engine struct {
 	metrics *obs.Registry
 	em      engineMetrics
 	gov     *governor.Governor
+	plans   *plancache.Cache // nil when Config.PlanCacheSize == 0
 	queryID atomic.Uint64
 }
 
@@ -285,6 +309,8 @@ type engineMetrics struct {
 	instances, retries, spans   *obs.Counter
 	filters, pruned             *obs.Counter
 	hedges, hedgesWon           *obs.Counter
+	planHits, planMisses        *obs.Counter
+	planEvictions               *obs.Counter
 	inflight                    *obs.Gauge
 	modeledSeconds, wallSeconds *obs.Histogram
 }
@@ -325,6 +351,35 @@ func Open(cfg Config) *Engine {
 			Reserved: reg.Gauge("mem_reserved_bytes"),
 		})
 	}
+	em := engineMetrics{
+		queries:        reg.Counter("queries_total"),
+		failed:         reg.Counter("queries_failed_total"),
+		slow:           reg.Counter("queries_slow_total"),
+		rows:           reg.Counter("rows_returned_total"),
+		work:           reg.Counter("exec_work_units_total"),
+		bytes:          reg.Counter("bytes_shipped_total"),
+		instances:      reg.Counter("fragment_instances_total"),
+		retries:        reg.Counter("retries_total"),
+		spans:          reg.Counter("trace_spans_total"),
+		filters:        reg.Counter("filters_built_total"),
+		pruned:         reg.Counter("filter_rows_pruned_total"),
+		hedges:         reg.Counter("hedges_launched_total"),
+		hedgesWon:      reg.Counter("hedges_won_total"),
+		planHits:       reg.Counter("plan_cache_hits_total"),
+		planMisses:     reg.Counter("plan_cache_misses_total"),
+		planEvictions:  reg.Counter("plan_cache_evictions_total"),
+		inflight:       reg.Gauge("queries_inflight"),
+		modeledSeconds: reg.Histogram("query_modeled_seconds", obs.DefaultTimeBuckets()),
+		wallSeconds:    reg.Histogram("query_wall_seconds", obs.DefaultTimeBuckets()),
+	}
+	var plans *plancache.Cache
+	if cfg.PlanCacheSize > 0 {
+		plans = plancache.New(cfg.PlanCacheSize, plancache.Metrics{
+			Hits:      em.planHits,
+			Misses:    em.planMisses,
+			Evictions: em.planEvictions,
+		})
+	}
 	return &Engine{
 		cfg:     cfg,
 		catalog: cat,
@@ -333,24 +388,8 @@ func Open(cfg Config) *Engine {
 		views:   make(map[string]*sql.SelectStmt),
 		metrics: reg,
 		gov:     gov,
-		em: engineMetrics{
-			queries:        reg.Counter("queries_total"),
-			failed:         reg.Counter("queries_failed_total"),
-			slow:           reg.Counter("queries_slow_total"),
-			rows:           reg.Counter("rows_returned_total"),
-			work:           reg.Counter("exec_work_units_total"),
-			bytes:          reg.Counter("bytes_shipped_total"),
-			instances:      reg.Counter("fragment_instances_total"),
-			retries:        reg.Counter("retries_total"),
-			spans:          reg.Counter("trace_spans_total"),
-			filters:        reg.Counter("filters_built_total"),
-			pruned:         reg.Counter("filter_rows_pruned_total"),
-			hedges:         reg.Counter("hedges_launched_total"),
-			hedgesWon:      reg.Counter("hedges_won_total"),
-			inflight:       reg.Gauge("queries_inflight"),
-			modeledSeconds: reg.Histogram("query_modeled_seconds", obs.DefaultTimeBuckets()),
-			wallSeconds:    reg.Histogram("query_wall_seconds", obs.DefaultTimeBuckets()),
-		},
+		plans:   plans,
+		em:      em,
 	}
 }
 
@@ -425,6 +464,15 @@ type ExecStats struct {
 	// MemPeakBytes is the query's high-water mark of estimated operator
 	// state reserved against the engine's memory pool (0 when ungoverned).
 	MemPeakBytes int64
+	// PlanNanos is the wall time spent acquiring the optimized plan: the
+	// cache lookup plus, on a miss, bind + heuristic + cost-based
+	// optimization. Parsing, plan cloning and fragmentation are excluded —
+	// they are per-execution costs paid whether or not the plan was cached.
+	PlanNanos int64
+	// PlanningSkipped is true when the plan came from the plan cache (or a
+	// prepared statement's retained plan), so no optimization ran for this
+	// execution.
+	PlanningSkipped bool
 }
 
 // Exec parses and executes one SQL statement (DDL, INSERT, SELECT or
@@ -473,6 +521,8 @@ func (e *Engine) ExecContext(ctx context.Context, query string) (*Result, error)
 		if err := e.store.BuildIndexes(tbl.Name); err != nil {
 			return nil, err
 		}
+		// Index access paths changed: stale cached plans must replan.
+		e.catalog.BumpVersion()
 		return &Result{}, nil
 	case *sql.CreateViewStmt:
 		if !e.cfg.ExperimentalViews {
@@ -488,6 +538,9 @@ func (e *Engine) ExecContext(ctx context.Context, query string) (*Result, error)
 			return nil, fmt.Errorf("gignite: %s already names a table", s.Name)
 		}
 		e.views[name] = s.Select
+		// A new view can resolve names that previously failed to bind, and
+		// future plans over it must not reuse pre-view digests.
+		e.catalog.BumpVersion()
 		return &Result{}, nil
 	case *sql.InsertStmt:
 		tbl, err := e.catalog.Table(s.Table)
@@ -562,6 +615,8 @@ func (e *Engine) Analyze() error {
 			return err
 		}
 	}
+	// Fresh statistics change cost estimates; cached plans are stale.
+	e.catalog.BumpVersion()
 	return nil
 }
 
@@ -576,11 +631,14 @@ func (e *Engine) newBinder() *binder.Binder {
 	return binder.New(e.catalog).WithViews(e.views)
 }
 
-// plan runs the full planning pipeline for a bound SELECT.
-func (e *Engine) plan(sel *sql.SelectStmt) (physical.Node, *volcano.Planner, error) {
-	lp, err := e.newBinder().BindSelect(sel)
+// plan runs the full planning pipeline for a bound SELECT. It also
+// returns the bind-time type hint of every `?` placeholder (indexed by
+// ordinal; types.KindNull when no hint was derivable).
+func (e *Engine) plan(sel *sql.SelectStmt) (physical.Node, []types.Kind, *volcano.Planner, error) {
+	b := e.newBinder()
+	lp, err := b.BindSelect(sel)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	rc := rules.Config{
 		FilterCorrelate:             e.cfg.FilterCorrelate,
@@ -603,20 +661,63 @@ func (e *Engine) plan(sel *sql.SelectStmt) (physical.Node, *volcano.Planner, err
 	})
 	pp, err := vp.Optimize(lp)
 	if err != nil {
-		return nil, vp, err
+		return nil, nil, vp, err
 	}
-	return pp, vp, nil
+	return pp, b.ParamKinds(sel.Params), vp, nil
+}
+
+// buildEntry runs the planning pipeline and wraps the result as a cache
+// entry stamped with the catalog version planning started from. Reading
+// the version first is deliberate: a DDL landing mid-plan leaves the
+// entry marked stale, never the reverse.
+func (e *Engine) buildEntry(sel *sql.SelectStmt) (*plancache.Entry, error) {
+	version := e.catalog.Version()
+	pp, kinds, vp, err := e.plan(sel)
+	if err != nil {
+		return nil, err
+	}
+	return &plancache.Entry{Plan: pp, ParamKinds: kinds, Tickets: vp.TicketsUsed, Version: version}, nil
+}
+
+// getPlan resolves the optimized plan for a SELECT: through the plan
+// cache when enabled (planning runs only on a miss, and concurrent misses
+// on one digest coalesce into a single planning pass), from scratch
+// otherwise.
+func (e *Engine) getPlan(sel *sql.SelectStmt, src string) (*plancache.Entry, bool, error) {
+	build := func() (*plancache.Entry, error) { return e.buildEntry(sel) }
+	if e.plans == nil {
+		entry, err := build()
+		return entry, false, err
+	}
+	return e.plans.Get(plancache.Digest(src), e.catalog.Version(), build)
+}
+
+// PlanCacheStats snapshots the plan cache. enabled is false (and the
+// stats zero) when Config.PlanCacheSize is 0.
+func (e *Engine) PlanCacheStats() (s plancache.Stats, enabled bool) {
+	if e.plans == nil {
+		return plancache.Stats{}, false
+	}
+	return e.plans.Snapshot(), true
 }
 
 func (e *Engine) query(ctx context.Context, sel *sql.SelectStmt, src string) (*Result, error) {
-	res, _, err := e.run(ctx, sel, src)
+	res, _, err := e.run(ctx, sel, src, nil, nil)
 	return res, err
 }
 
-// run is the shared SELECT execution path behind query and explainAnalyze:
-// plan, fragment, execute, then attach the observation record and update
-// the engine's cumulative metrics (including the slow-query log).
-func (e *Engine) run(ctx context.Context, sel *sql.SelectStmt, src string) (*Result, *fragment.Plan, error) {
+// planGetter resolves the plan entry for one execution. skipped reports
+// whether planning was skipped (a cache or prepared-statement hit);
+// shared reports whether the entry outlives this execution (cached or
+// retained by a Stmt), in which case the execution must run a clone.
+type planGetter func() (entry *plancache.Entry, skipped, shared bool, err error)
+
+// run is the shared SELECT execution path behind query, explainAnalyze
+// and prepared statements: resolve the plan (cache-aware), substitute
+// parameters into a clone, fragment, execute, then attach the observation
+// record and update the engine's cumulative metrics (including the
+// slow-query log).
+func (e *Engine) run(ctx context.Context, sel *sql.SelectStmt, src string, args []types.Value, get planGetter) (*Result, *fragment.Plan, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -642,10 +743,50 @@ func (e *Engine) run(ctx context.Context, sel *sql.SelectStmt, src string) (*Res
 	defer lease.Close()
 	e.em.inflight.Add(1)
 	defer e.em.inflight.Add(-1)
-	pp, vp, err := e.plan(sel)
+	if len(args) != sel.Params {
+		e.em.failed.Inc()
+		if sel.Params > 0 && len(args) == 0 {
+			return nil, nil, fmt.Errorf("gignite: query has %d parameter(s); prepare it and supply arguments via Stmt.Query", sel.Params)
+		}
+		return nil, nil, fmt.Errorf("gignite: query has %d parameter(s) but %d argument(s) were supplied", sel.Params, len(args))
+	}
+	if get == nil {
+		get = func() (*plancache.Entry, bool, bool, error) {
+			entry, hit, err := e.getPlan(sel, src)
+			return entry, hit, e.plans != nil, err
+		}
+	}
+	planStart := time.Now()
+	entry, skipped, shared, err := get()
+	planNanos := time.Since(planStart).Nanoseconds()
 	if err != nil {
 		e.em.failed.Inc()
 		return nil, nil, err
+	}
+	pp := entry.Plan
+	if shared || len(args) > 0 {
+		// Never fragment a shared plan directly: Split rewires trees in
+		// place and the executor keys state by node pointer. Parameter
+		// values are substituted during the clone.
+		var rewrite func(expr.Expr) expr.Expr
+		if len(args) > 0 {
+			bound := make([]types.Value, len(args))
+			for i, a := range args {
+				v, cerr := binder.CoerceParam(a, entry.ParamKinds[i])
+				if cerr != nil {
+					e.em.failed.Inc()
+					return nil, nil, fmt.Errorf("gignite: parameter %d: %w", i+1, cerr)
+				}
+				bound[i] = v
+			}
+			rewrite = func(n expr.Expr) expr.Expr {
+				if p, ok := n.(*expr.Param); ok {
+					return expr.NewLit(bound[p.Ordinal])
+				}
+				return n
+			}
+		}
+		pp = physical.CloneTree(pp, rewrite)
 	}
 	fp := fragment.Split(pp)
 	if e.cfg.RuntimeFilters {
@@ -696,13 +837,15 @@ func (e *Engine) run(ctx context.Context, sel *sql.SelectStmt, src string) (*Res
 			Workers:      res.Workers,
 			Retries:      res.Retries,
 			Modeled:      res.Modeled,
-			PlanTickets:  vp.TicketsUsed,
+			PlanTickets:  entry.Tickets,
 			FiltersBuilt: res.FiltersBuilt,
 			FilterBytes:  res.FilterBytes,
 			RowsPruned:   res.RowsPruned,
-			Hedges:       res.Hedges,
-			HedgesWon:    res.HedgesWon,
-			MemPeakBytes: lease.Peak(),
+			Hedges:          res.Hedges,
+			HedgesWon:       res.HedgesWon,
+			MemPeakBytes:    lease.Peak(),
+			PlanNanos:       planNanos,
+			PlanningSkipped: skipped,
 		},
 	}
 	if qobs != nil {
@@ -762,7 +905,7 @@ func planDigest(fp *fragment.Plan) string {
 // annotated with estimated vs. actual per-operator row counts. The result
 // rows themselves are dropped: EXPLAIN ANALYZE returns the report.
 func (e *Engine) explainAnalyze(ctx context.Context, sel *sql.SelectStmt, src string) (*Result, error) {
-	res, fp, err := e.run(ctx, sel, src)
+	res, fp, err := e.run(ctx, sel, src, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -856,7 +999,7 @@ func qerror(est, act float64) float64 {
 }
 
 func (e *Engine) explain(sel *sql.SelectStmt) (*Result, error) {
-	pp, vp, err := e.plan(sel)
+	pp, _, vp, err := e.plan(sel)
 	if err != nil {
 		return nil, err
 	}

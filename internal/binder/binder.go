@@ -25,10 +25,49 @@ var ErrViewsUnsupported = errors.New("binder: SQL views are not supported")
 type Binder struct {
 	cat   *catalog.Catalog
 	views map[string]*sql.SelectStmt
+	// paramKinds records the bind-time kind hint of every `?` placeholder
+	// seen (ordinal → kind). KindNull means no hint was derivable.
+	paramKinds map[int]types.Kind
 }
 
 // New returns a binder over the given catalog.
 func New(cat *catalog.Catalog) *Binder { return &Binder{cat: cat} }
+
+// noteParam records (or upgrades) the kind hint for one placeholder.
+func (b *Binder) noteParam(ordinal int, kind types.Kind) {
+	if b.paramKinds == nil {
+		b.paramKinds = make(map[int]types.Kind)
+	}
+	if existing, ok := b.paramKinds[ordinal]; !ok || existing == types.KindNull {
+		b.paramKinds[ordinal] = kind
+	}
+}
+
+// ParamKinds returns the bind-time kind hints for a statement with n
+// placeholders; entries without a derivable hint are types.KindNull. Call
+// it after BindSelect.
+func (b *Binder) ParamKinds(n int) []types.Kind {
+	out := make([]types.Kind, n)
+	for i := range out {
+		out[i] = types.KindNull
+	}
+	for ord, k := range b.paramKinds {
+		if ord >= 0 && ord < n {
+			out[ord] = k
+		}
+	}
+	return out
+}
+
+// CoerceParam coerces one execution argument to a bound placeholder's
+// hinted kind (date strings parse to dates, ints widen to floats, ...).
+// A KindNull hint passes the value through unchanged.
+func CoerceParam(v types.Value, hint types.Kind) (types.Value, error) {
+	if hint == types.KindNull {
+		return v, nil
+	}
+	return coerce(v, hint)
+}
 
 // WithViews enables view expansion (the engine's experimental extension;
 // stock Ignite+Calcite — and therefore the default configuration — does

@@ -103,6 +103,14 @@ func (eb *exprBinder) bind(n sql.Node) (expr.Expr, error) {
 		return expr.NewLit(v), nil
 	case *sql.IntervalLit:
 		return nil, fmt.Errorf("binder: interval literal outside date arithmetic")
+	case *sql.ParamExpr:
+		if eb.b == nil {
+			return nil, fmt.Errorf("binder: parameters are not supported here")
+		}
+		// The placeholder starts untyped; bindBinary/BETWEEN/IN contexts
+		// upgrade the hint from the sibling operand via hintParam.
+		eb.b.noteParam(e.Ordinal, types.KindNull)
+		return expr.NewParam(e.Ordinal, types.KindNull), nil
 	case *sql.BinaryExpr:
 		return eb.bindBinary(e)
 	case *sql.UnaryExpr:
@@ -152,6 +160,8 @@ func (eb *exprBinder) bind(n sql.Node) (expr.Expr, error) {
 			if err != nil {
 				return nil, err
 			}
+			list[i] = eb.hintParam(list[i], lhs.Kind())
+			lhs = eb.hintParam(lhs, list[i].Kind())
 		}
 		return expr.NewInList(lhs, list, e.Negate), nil
 	case *sql.BetweenExpr:
@@ -168,6 +178,10 @@ func (eb *exprBinder) bind(n sql.Node) (expr.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
+		lo = eb.hintParam(lo, v.Kind())
+		hi = eb.hintParam(hi, v.Kind())
+		v = eb.hintParam(v, lo.Kind())
+		v = eb.hintParam(v, hi.Kind())
 		if e.Negate {
 			return expr.NewBinOp(expr.OpOr,
 				expr.NewBinOp(expr.OpLt, v, lo),
@@ -285,7 +299,22 @@ func (eb *exprBinder) bindBinary(e *sql.BinaryExpr) (expr.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
+	l = eb.hintParam(l, r.Kind())
+	r = eb.hintParam(r, l.Kind())
 	return expr.NewBinOp(op, l, r), nil
+}
+
+// hintParam retypes an untyped placeholder with a kind inferred from its
+// sibling operand, recording the hint on the binder so execution can
+// coerce arguments accordingly. Non-params and already-typed params pass
+// through.
+func (eb *exprBinder) hintParam(e expr.Expr, kind types.Kind) expr.Expr {
+	p, ok := e.(*expr.Param)
+	if !ok || p.Typ != types.KindNull || kind == types.KindNull || eb.b == nil {
+		return e
+	}
+	eb.b.noteParam(p.Ordinal, kind)
+	return expr.NewParam(p.Ordinal, kind)
 }
 
 func (eb *exprBinder) bindIntervalArith(dateNode sql.Node, op string, iv *sql.IntervalLit) (expr.Expr, error) {

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"gignite/internal/types"
 )
@@ -121,9 +122,21 @@ func (s *TableStats) NDVOf(column string) int64 {
 
 // Catalog is the schema registry. It is safe for concurrent use.
 type Catalog struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	version atomic.Uint64
 }
+
+// Version returns the catalog's monotonically increasing schema version.
+// It changes whenever metadata that can affect planning changes (tables
+// added or dropped, indexes created, statistics refreshed); consumers such
+// as the plan cache compare versions to detect stale plans.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
+
+// BumpVersion advances the schema version. Callers that mutate planning-
+// relevant metadata outside AddTable/DropTable (index creation, ANALYZE,
+// view registration) must call it so cached plans are invalidated.
+func (c *Catalog) BumpVersion() { c.version.Add(1) }
 
 // New returns an empty catalog.
 func New() *Catalog {
@@ -175,6 +188,7 @@ func (c *Catalog) AddTable(t *Table) error {
 		return fmt.Errorf("catalog: table %s already exists", t.Name)
 	}
 	c.tables[key] = t
+	c.version.Add(1)
 	return nil
 }
 
@@ -198,6 +212,7 @@ func (c *Catalog) DropTable(name string) error {
 		return fmt.Errorf("catalog: table %s does not exist", name)
 	}
 	delete(c.tables, key)
+	c.version.Add(1)
 	return nil
 }
 

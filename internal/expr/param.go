@@ -1,0 +1,70 @@
+package expr
+
+import (
+	"fmt"
+
+	"gignite/internal/types"
+)
+
+// Param is a prepared-statement placeholder (`?` in SQL text), identified
+// by its zero-based ordinal in the statement. Its kind is a bind-time hint
+// derived from the surrounding expression (the sibling operand of a
+// comparison, the tested expression of an IN list, ...); KindNull means no
+// hint was derivable and the argument's own kind is used at execution.
+//
+// A Param never evaluates: execution substitutes a Lit for every Param
+// when the (possibly cached) plan is cloned for one run, so reaching Eval
+// means a parameterized plan leaked into the executor unbound.
+type Param struct {
+	Ordinal int
+	Typ     types.Kind
+}
+
+// NewParam constructs a placeholder with a kind hint (types.KindNull when
+// no hint is available).
+func NewParam(ordinal int, typ types.Kind) *Param {
+	return &Param{Ordinal: ordinal, Typ: typ}
+}
+
+func (p *Param) Kind() types.Kind { return p.Typ }
+
+func (p *Param) Eval(types.Row) types.Value {
+	panic(fmt.Sprintf("expr: unbound parameter $%d evaluated; plans with parameters must be bound before execution", p.Ordinal+1))
+}
+
+func (p *Param) String() string   { return fmt.Sprintf("?%d", p.Ordinal+1) }
+func (p *Param) Children() []Expr { return nil }
+
+func (p *Param) WithChildren(children []Expr) Expr {
+	mustArity("Param", children, 0)
+	return p
+}
+
+// HasParams reports whether e contains any Param node.
+func HasParams(e Expr) bool {
+	if _, ok := e.(*Param); ok {
+		return true
+	}
+	for _, ch := range e.Children() {
+		if HasParams(ch) {
+			return true
+		}
+	}
+	return false
+}
+
+// BindParams substitutes a literal for every Param in e: args[i] replaces
+// the Param with Ordinal i. Ordinals past len(args) panic — the engine
+// validates argument counts before plans reach this rewrite.
+func BindParams(e Expr, args []types.Value) Expr {
+	return Transform(e, func(n Expr) Expr {
+		p, ok := n.(*Param)
+		if !ok {
+			return n
+		}
+		if p.Ordinal >= len(args) {
+			panic(fmt.Sprintf("expr: parameter $%d has no argument", p.Ordinal+1))
+		}
+		return NewLit(args[p.Ordinal])
+	})
+}

@@ -194,9 +194,11 @@ func Shift(e Expr, start, delta int) Expr {
 	})
 }
 
-// IsConstant reports whether e references no columns.
+// IsConstant reports whether e references no columns and no unbound
+// parameters — i.e. it is safe to evaluate without a row at plan time.
 func IsConstant(e Expr) bool {
-	if _, ok := e.(*ColRef); ok {
+	switch e.(type) {
+	case *ColRef, *Param:
 		return false
 	}
 	for _, ch := range e.Children() {

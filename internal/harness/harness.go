@@ -96,6 +96,10 @@ type Env struct {
 	// for every engine the Env opens. It is part of the engine cache key,
 	// so one Env can hold filters-on and filters-off engines side by side.
 	Filters bool
+	// PlanCache is the plan-cache capacity (Config.PlanCacheSize) for every
+	// engine the Env opens; 0 disables caching. Part of the engine cache
+	// key, so cache-on and cache-off engines coexist in one Env.
+	PlanCache int
 
 	mu      sync.Mutex
 	engines map[string]*gignite.Engine
@@ -106,7 +110,7 @@ func NewEnv() *Env { return &Env{engines: make(map[string]*gignite.Engine)} }
 
 // Engine returns (loading on first use) the engine for a combination.
 func (env *Env) Engine(w Workload, sys System, sites int, sf float64) (*gignite.Engine, error) {
-	key := fmt.Sprintf("%s/%s/%d/%g/filters=%t", w, sys, sites, sf, env.Filters)
+	key := fmt.Sprintf("%s/%s/%d/%g/filters=%t/plancache=%d", w, sys, sites, sf, env.Filters, env.PlanCache)
 	env.mu.Lock()
 	defer env.mu.Unlock()
 	if e, ok := env.engines[key]; ok {
@@ -118,6 +122,7 @@ func (env *Env) Engine(w Workload, sys System, sites int, sf float64) (*gignite.
 	cfg.Faults = env.Faults
 	cfg.QueryTimeout = env.Timeout
 	cfg.RuntimeFilters = env.Filters
+	cfg.PlanCacheSize = env.PlanCache
 	e := gignite.Open(cfg)
 	var err error
 	if w == SSB {

@@ -53,10 +53,15 @@ type QueryMetrics struct {
 	Spans       int     `json:"spans"`
 	// Runtime join-filter telemetry (zero when Config.RuntimeFilters is
 	// off or the plan carries no filter edges).
-	FiltersBuilt int               `json:"filters_built,omitempty"`
-	FilterBytes  int64             `json:"filter_bytes,omitempty"`
-	RowsPruned   int64             `json:"rows_pruned,omitempty"`
-	Operators    []OperatorMetrics `json:"operators"`
+	FiltersBuilt int   `json:"filters_built,omitempty"`
+	FilterBytes  int64 `json:"filter_bytes,omitempty"`
+	RowsPruned   int64 `json:"rows_pruned,omitempty"`
+	// PlanningSkipped is true when the run reused a cached plan (plan
+	// cache or prepared statement) and so did no optimization work;
+	// PlanNanos is the plan-acquisition wall time either way.
+	PlanningSkipped bool              `json:"planning_skipped,omitempty"`
+	PlanNanos       int64             `json:"plan_nanos,omitempty"`
+	Operators       []OperatorMetrics `json:"operators"`
 }
 
 // MetricsFile is the top-level -metrics JSON document (see MetricsSchema).
@@ -81,9 +86,11 @@ func queryMetrics(label string, res *gignite.Result) QueryMetrics {
 		Instances:    res.Stats.Instances,
 		Retries:      res.Stats.Retries,
 		Spans:        res.Stats.Spans,
-		FiltersBuilt: res.Stats.FiltersBuilt,
-		FilterBytes:  res.Stats.FilterBytes,
-		RowsPruned:   res.Stats.RowsPruned,
+		FiltersBuilt:    res.Stats.FiltersBuilt,
+		FilterBytes:     res.Stats.FilterBytes,
+		RowsPruned:      res.Stats.RowsPruned,
+		PlanningSkipped: res.Stats.PlanningSkipped,
+		PlanNanos:       res.Stats.PlanNanos,
 	}
 	q := res.Obs
 	if q == nil {

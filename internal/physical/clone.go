@@ -1,0 +1,131 @@
+package physical
+
+import (
+	"fmt"
+
+	"gignite/internal/expr"
+)
+
+// CloneTree deep-copies a physical plan, optionally rewriting every scalar
+// expression through rewrite (nil keeps expressions shared — they are
+// immutable, so sharing is safe). The copy preserves DAG shape exactly: a
+// subtree the optimizer shares between two consumers is cloned once and
+// both clones point at the same copy, because fragmentation's
+// multi-consumer wave scheduling depends on that sharing.
+//
+// Cloning exists for the plan cache: fragment.Split rewires trees in place
+// and the executor keys per-query state by node pointer, so a cached plan
+// is never executed directly — each execution runs a fresh clone (with
+// parameter placeholders substituted via rewrite) while the pristine plan
+// stays in the cache.
+func CloneTree(root Node, rewrite func(expr.Expr) expr.Expr) Node {
+	c := &cloner{memo: make(map[Node]Node), rewrite: rewrite}
+	return c.clone(root)
+}
+
+type cloner struct {
+	memo    map[Node]Node
+	rewrite func(expr.Expr) expr.Expr
+}
+
+func (c *cloner) expr(e expr.Expr) expr.Expr {
+	if e == nil || c.rewrite == nil {
+		return e
+	}
+	return expr.Transform(e, c.rewrite)
+}
+
+func (c *cloner) exprs(es []expr.Expr) []expr.Expr {
+	if c.rewrite == nil {
+		return es
+	}
+	out := make([]expr.Expr, len(es))
+	for i, e := range es {
+		out[i] = c.expr(e)
+	}
+	return out
+}
+
+func (c *cloner) aggs(as []expr.AggCall) []expr.AggCall {
+	if c.rewrite == nil {
+		return as
+	}
+	out := make([]expr.AggCall, len(as))
+	copy(out, as)
+	for i := range out {
+		out[i].Arg = c.expr(out[i].Arg)
+	}
+	return out
+}
+
+func (c *cloner) clone(n Node) Node {
+	if n == nil {
+		return nil
+	}
+	if m, ok := c.memo[n]; ok {
+		return m
+	}
+	var out Node
+	switch t := n.(type) {
+	case *TableScan:
+		cp := *t
+		out = &cp
+	case *IndexScan:
+		cp := *t
+		out = &cp
+	case *Values:
+		cp := *t
+		out = &cp
+	case *Filter:
+		cp := *t
+		cp.Cond = c.expr(t.Cond)
+		out = &cp
+	case *Project:
+		cp := *t
+		cp.Exprs = c.exprs(t.Exprs)
+		out = &cp
+	case *Sort:
+		cp := *t
+		out = &cp
+	case *Limit:
+		cp := *t
+		out = &cp
+	case *HashAggregate:
+		cp := *t
+		cp.Aggs = c.aggs(t.Aggs)
+		out = &cp
+	case *SortAggregate:
+		cp := *t
+		cp.Aggs = c.aggs(t.Aggs)
+		out = &cp
+	case *Join:
+		cp := *t
+		cp.Cond = c.expr(t.Cond)
+		out = &cp
+	case *Exchange:
+		cp := *t
+		out = &cp
+	case *Sender:
+		cp := *t
+		out = &cp
+	case *Receiver:
+		cp := *t
+		out = &cp
+	default:
+		panic(fmt.Sprintf("physical: CloneTree: unhandled node type %T", n))
+	}
+	c.memo[n] = out
+	ins := n.Inputs()
+	if len(ins) == 0 {
+		out.SetInputs(nil)
+		return out
+	}
+	// Always allocate a fresh input slice: fragmentation mutates input
+	// slices in place, and the original may still be cached.
+	newIns := make([]Node, len(ins))
+	for i, in := range ins {
+		newIns[i] = c.clone(in)
+	}
+	out.SetInputs(newIns)
+	return out
+}

@@ -23,6 +23,10 @@ type SelectStmt struct {
 	Having   Node
 	OrderBy  []OrderItem
 	Limit    int64 // -1 when absent
+	// Params counts the `?` placeholders lexed while parsing the whole
+	// statement (subqueries included). Only set on the outermost SELECT of
+	// a statement; nested SelectStmts leave it zero.
+	Params int
 }
 
 func (*SelectStmt) stmt() {}
@@ -301,6 +305,15 @@ func (*SubstringExpr) node() {}
 type NullLit struct{}
 
 func (*NullLit) node() {}
+
+// ParamExpr is a `?` prepared-statement placeholder. Ordinal is the
+// zero-based position of the placeholder in the statement text, assigned
+// left to right by the parser (subqueries included).
+type ParamExpr struct {
+	Ordinal int
+}
+
+func (*ParamExpr) node() {}
 
 // IsAggregateName reports whether a function name denotes an aggregate.
 func IsAggregateName(name string) bool {

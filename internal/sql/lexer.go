@@ -26,7 +26,7 @@ const (
 	TokNumber
 	// TokString is a single-quoted string literal.
 	TokString
-	// TokSymbol is an operator or punctuation: ( ) , . + - * / % = <> < <= > >= ;
+	// TokSymbol is an operator or punctuation: ( ) , . + - * / % = <> < <= > >= ; ?
 	TokSymbol
 )
 
@@ -130,7 +130,7 @@ func (l *lexer) next() (Token, error) {
 			text = "<>"
 		}
 		return Token{Kind: TokSymbol, Text: text, Pos: start}, nil
-	case strings.IndexByte("(),.+-*/%=;", c) >= 0:
+	case strings.IndexByte("(),.+-*/%=;?", c) >= 0:
 		l.pos++
 		return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
 	default:

@@ -10,6 +10,9 @@ import (
 type Parser struct {
 	toks []Token
 	pos  int
+	// params counts `?` placeholders seen so far; each gets the next
+	// zero-based ordinal in statement text order.
+	params int
 }
 
 // Parse parses a single SQL statement.
@@ -27,6 +30,15 @@ func Parse(src string) (Statement, error) {
 	p.acceptSymbol(";")
 	if !p.atEOF() {
 		return nil, p.errorf("unexpected trailing input %q", p.peek().Text)
+	}
+	// Record the statement's placeholder count on the outermost SELECT
+	// (prepared statements only support SELECT, so other statement kinds
+	// surface their parameters as binder errors instead).
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		s.Params = p.params
+	case *ExplainStmt:
+		s.Query.Params = p.params
 	}
 	return stmt, nil
 }
@@ -816,6 +828,12 @@ func (p *Parser) parsePrimary() (Node, error) {
 		p.advance()
 		return &StringLit{Val: t.Text}, nil
 	case TokSymbol:
+		if t.Text == "?" {
+			p.advance()
+			e := &ParamExpr{Ordinal: p.params}
+			p.params++
+			return e, nil
+		}
 		if t.Text == "(" {
 			p.advance()
 			if p.isKeyword("select") {

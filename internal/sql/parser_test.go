@@ -532,3 +532,73 @@ func TestParseDeepNesting(t *testing.T) {
 		t.Errorf("where = %T", sel.Where)
 	}
 }
+
+func TestParseParams(t *testing.T) {
+	sel := mustSelect(t, `SELECT a FROM t WHERE a > ? AND b = ?`)
+	if sel.Params != 2 {
+		t.Fatalf("Params = %d, want 2", sel.Params)
+	}
+	and := sel.Where.(*BinaryExpr)
+	gt := and.L.(*BinaryExpr)
+	p0, ok := gt.R.(*ParamExpr)
+	if !ok || p0.Ordinal != 0 {
+		t.Errorf("first placeholder = %+v", gt.R)
+	}
+	eq := and.R.(*BinaryExpr)
+	p1, ok := eq.R.(*ParamExpr)
+	if !ok || p1.Ordinal != 1 {
+		t.Errorf("second placeholder = %+v", eq.R)
+	}
+}
+
+func TestParseParamsInSubquery(t *testing.T) {
+	// Ordinals are assigned left to right across the whole statement,
+	// subqueries included, and only the outermost SELECT carries the count.
+	sel := mustSelect(t, `SELECT a FROM t WHERE a > ?
+		AND b IN (SELECT c FROM u WHERE d = ?) AND e BETWEEN ? AND ?`)
+	if sel.Params != 4 {
+		t.Fatalf("Params = %d, want 4", sel.Params)
+	}
+	in := findIn(sel.Where)
+	if in == nil {
+		t.Fatal("IN subquery not found")
+	}
+	if in.Select.Params != 0 {
+		t.Errorf("nested select Params = %d, want 0", in.Select.Params)
+	}
+	sub := in.Select.Where.(*BinaryExpr)
+	if p, ok := sub.R.(*ParamExpr); !ok || p.Ordinal != 1 {
+		t.Errorf("subquery placeholder = %+v", sub.R)
+	}
+}
+
+func findIn(n Node) *InExpr {
+	switch e := n.(type) {
+	case *InExpr:
+		return e
+	case *BinaryExpr:
+		if in := findIn(e.L); in != nil {
+			return in
+		}
+		return findIn(e.R)
+	default:
+		return nil
+	}
+}
+
+func TestParseParamRejectedInLimit(t *testing.T) {
+	if _, err := Parse(`SELECT a FROM t LIMIT ?`); err == nil {
+		t.Error("LIMIT ? accepted; the dialect requires a literal limit")
+	}
+}
+
+func TestParseExplainCarriesParams(t *testing.T) {
+	stmt, err := Parse(`EXPLAIN ANALYZE SELECT a FROM t WHERE a = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := stmt.(*ExplainStmt)
+	if !ex.Analyze || ex.Query.Params != 1 {
+		t.Errorf("explain = %+v, query params = %d", ex, ex.Query.Params)
+	}
+}
