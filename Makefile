@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench chaos overload plancache benchgate benchgate-update fuzz-smoke ci
+.PHONY: build test race vet bench chaos overload plancache benchgate benchgate-update serve fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,16 @@ benchgate:
 # commit the resulting BENCH_gate.json diff.
 benchgate-update:
 	$(GO) run ./cmd/benchrunner -exp benchgate -update-baseline
+
+# The serving-layer smoke check (DESIGN.md §16): concurrent database/sql
+# clients over TCP must get byte-identical rows to in-process execution
+# (plan cache on and off), prepared statements must skip planning
+# (observed via /metrics), overload must surface as a typed wire error, a
+# mid-stream client kill must free its governor lease, a graceful drain
+# must finish the in-flight query, and nothing may leak. Exits non-zero
+# on any violation.
+serve:
+	$(GO) run ./cmd/benchrunner -exp serve -sf 0.005 -sites 4 -metrics serve-metrics.json
 
 # Run every fuzz target briefly, seeded from testdata/fuzz. `go test
 # -fuzz` accepts one target per invocation, hence the loop.

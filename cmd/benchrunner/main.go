@@ -83,7 +83,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table3, failures, ablate, scaling, obs, filters, overload, plancache, benchgate, all")
+	exp := flag.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table3, failures, ablate, scaling, obs, filters, overload, plancache, benchgate, serve, serveaql, all")
 	sfs := flag.String("sf", "0.005,0.01", "comma-separated scale factors")
 	sites := flag.String("sites", "4,8", "comma-separated site counts")
 	par := flag.Int("par", 0, "host execution parallelism: 0 = GOMAXPROCS, 1 = sequential")
@@ -150,6 +150,14 @@ func main() {
 	}
 	if *exp == "benchgate" {
 		runBenchGate(opts, *baseline, *metricsOut, *updateBaseline)
+		return
+	}
+	if *exp == "serve" {
+		runServe(opts, *metricsOut)
+		return
+	}
+	if *exp == "serveaql" {
+		runServeAQL(opts, *clients)
 		return
 	}
 

@@ -1,0 +1,187 @@
+// Command gignited is gignite's network daemon: it serves the engine
+// over the binary wire protocol (DESIGN.md §16) so database/sql clients
+// using gignite/driver can connect over TCP, and exposes an HTTP sidecar
+// with /metrics (Prometheus text format) and /healthz.
+//
+// Usage:
+//
+//	gignited [-addr 127.0.0.1:7468] [-http 127.0.0.1:7469]
+//	         [-system ic|ic+|ic+m] [-sites 4] [-load tpch|ssb] [-sf 0.01]
+//	         [-maxconns N] [-token SECRET] [-idle 5m]
+//	         [-admission N] [-maxmem BYTES] [-querymem BYTES]
+//	         [-plancache N] [-filters] [-drain 30s] [-quiet]
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: the listener closes,
+// in-flight queries finish and stream out, then the engine closes. A
+// second signal — or the -drain deadline — force-closes remaining
+// sessions (canceling their queries). A clean drain exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gignite"
+	"gignite/internal/harness"
+	"gignite/internal/server"
+	"gignite/internal/ssb"
+	"gignite/internal/tpch"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:7468", "wire-protocol listen address")
+	httpAddr := flag.String("http", "127.0.0.1:7469", "HTTP sidecar address for /metrics and /healthz (empty disables)")
+	system := flag.String("system", "ic+m", "system variant: ic, ic+, ic+m")
+	sites := flag.Int("sites", 4, "simulated processing sites")
+	load := flag.String("load", "", "preload a benchmark: tpch or ssb")
+	sf := flag.Float64("sf", 0.01, "benchmark scale factor")
+	maxconns := flag.Int("maxconns", 0, "max concurrently open client connections (0 = unbounded)")
+	token := flag.String("token", "", "require this auth token in the client handshake")
+	idle := flag.Duration("idle", server.DefaultIdleTimeout, "close sessions idle for this long (negative = never)")
+	admission := flag.Int("admission", 0, "max concurrently admitted queries (0 = unbounded)")
+	maxmem := flag.Int64("maxmem", 0, "engine-wide memory pool in bytes (0 = no pool)")
+	querymem := flag.Int64("querymem", 0, "per-query memory budget in bytes (0 = unlimited)")
+	plancache := flag.Int("plancache", 64, "plan cache capacity (0 disables)")
+	filters := flag.Bool("filters", false, "enable runtime join-filter pushdown")
+	drain := flag.Duration("drain", gignite.DefaultDrainTimeout, "graceful-drain deadline after SIGTERM")
+	quiet := flag.Bool("quiet", false, "suppress per-connection logging")
+	flag.Parse()
+
+	var cfg gignite.Config
+	switch strings.ToLower(*system) {
+	case "ic":
+		cfg = gignite.IC(*sites)
+	case "ic+", "icplus":
+		cfg = gignite.ICPlus(*sites)
+	case "ic+m", "icplusm":
+		cfg = gignite.ICPlusM(*sites)
+	default:
+		fmt.Fprintf(os.Stderr, "gignited: unknown system %q\n", *system)
+		return 2
+	}
+	cfg.ExecWorkLimit = harness.WorkLimitFor(*sf)
+	cfg.RuntimeFilters = *filters
+	cfg.MaxConcurrentQueries = *admission
+	cfg.MemoryBudgetBytes = *maxmem
+	cfg.QueryMemLimitBytes = *querymem
+	cfg.PlanCacheSize = *plancache
+
+	var log *server.Logger
+	if !*quiet {
+		log = server.NewLogger(os.Stderr)
+	}
+	// Engine logs (slow queries etc.) share the serialized writer.
+	if log != nil {
+		cfg.Logger = log.Func("engine")
+	}
+	eng := gignite.Open(cfg)
+
+	switch strings.ToLower(*load) {
+	case "tpch":
+		log.Printf("loading TPC-H at SF %g...", *sf)
+		if err := tpch.Setup(eng, *sf); err != nil {
+			fmt.Fprintf(os.Stderr, "gignited: %v\n", err)
+			return 1
+		}
+	case "ssb":
+		log.Printf("loading SSB at SF %g...", *sf)
+		if err := ssb.Setup(eng, *sf); err != nil {
+			fmt.Fprintf(os.Stderr, "gignited: %v\n", err)
+			return 1
+		}
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "gignited: unknown benchmark %q\n", *load)
+		return 2
+	}
+
+	srv := server.New(eng, server.Config{
+		Addr:        *addr,
+		MaxConns:    *maxconns,
+		AuthToken:   *token,
+		IdleTimeout: *idle,
+		Logger:      log,
+	})
+	if err := srv.Listen(); err != nil {
+		fmt.Fprintf(os.Stderr, "gignited: %v\n", err)
+		return 1
+	}
+	log.Printf("serving wire protocol on %s", srv.Addr())
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_, _ = fmt.Fprint(w, eng.Metrics().Prometheus())
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			_, _ = fmt.Fprintln(w, "ok")
+		})
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gignited: http sidecar: %v\n", err)
+			return 1
+		}
+		httpSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := httpSrv.Serve(hln); err != nil && err != http.ErrServerClosed {
+				log.Printf("http sidecar: %v", err)
+			}
+		}()
+		log.Printf("metrics on http://%s/metrics", hln.Addr())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigc:
+		log.Printf("received %v, draining (deadline %v)...", sig, *drain)
+	case err := <-serveErr:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gignited: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	go func() {
+		// A second signal cuts the drain short.
+		<-sigc
+		log.Printf("second signal, force-closing")
+		cancel()
+	}()
+
+	code := 0
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain: %v", err)
+		code = 1
+	}
+	if httpSrv != nil {
+		_ = httpSrv.Close()
+	}
+	if err := eng.CloseContext(ctx); err != nil {
+		log.Printf("engine close: %v", err)
+		code = 1
+	}
+	log.Printf("shutdown complete")
+	return code
+}

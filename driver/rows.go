@@ -1,0 +1,239 @@
+package driver
+
+import (
+	"context"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"time"
+
+	"gignite/internal/types"
+	"gignite/internal/wire"
+)
+
+// stmt is a server-side prepared statement (wire Parse/Execute).
+type stmt struct {
+	c        *conn
+	id       uint32
+	numInput int
+	closed   bool
+}
+
+// Close discards the server-side statement. CloseStmt has no reply
+// frame; request/response pairing stays intact because frames are
+// processed in order.
+func (s *stmt) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var enc wire.Encoder
+	enc.U32(s.id)
+	return s.c.writeFrame(wire.FrameCloseStmt, enc.Bytes())
+}
+
+// NumInput reports the number of `?` placeholders (from ParseOK).
+func (s *stmt) NumInput() int { return s.numInput }
+
+// Query implements driver.Stmt.
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	named := make([]driver.NamedValue, len(args))
+	for i, a := range args {
+		named[i] = driver.NamedValue{Ordinal: i + 1, Value: a}
+	}
+	return s.QueryContext(context.Background(), named)
+}
+
+// QueryContext sends Execute and streams the result.
+func (s *stmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var enc wire.Encoder
+	enc.U32(s.id)
+	enc.U16(uint16(len(args)))
+	for _, a := range args {
+		v, err := wireValue(a.Value)
+		if err != nil {
+			return nil, err
+		}
+		enc.Value(v)
+	}
+	if err := s.c.writeFrame(wire.FrameExecute, enc.Bytes()); err != nil {
+		return nil, driver.ErrBadConn
+	}
+	return s.c.awaitRows(ctx)
+}
+
+// Exec implements driver.Stmt (prepared statements are SELECT-only on
+// the engine, but database/sql requires the method).
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	rows, err := s.Query(args)
+	if err != nil {
+		return nil, err
+	}
+	if err := rows.Close(); err != nil {
+		return nil, err
+	}
+	return driver.RowsAffected(0), nil
+}
+
+// ExecContext implements driver.StmtExecContext.
+func (s *stmt) ExecContext(ctx context.Context, args []driver.NamedValue) (driver.Result, error) {
+	rows, err := s.QueryContext(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	if err := rows.Close(); err != nil {
+		return nil, err
+	}
+	return driver.RowsAffected(0), nil
+}
+
+// rows streams one result set: batches are pulled from the connection
+// on demand, so a slow consumer exerts TCP backpressure on the server
+// instead of buffering the whole result client-side.
+type rows struct {
+	c    *conn
+	cols []string
+	stop func() // disarms the context-cancel watcher
+
+	buf  []types.Row // decoded rows of the current batch
+	next int
+	done bool
+	err  error
+}
+
+// Columns implements driver.Rows.
+func (r *rows) Columns() []string { return r.cols }
+
+// Next decodes the next row, reading further batches as needed.
+func (r *rows) Next(dest []driver.Value) error {
+	for r.next >= len(r.buf) {
+		if r.done {
+			return io.EOF
+		}
+		if err := r.readBatch(); err != nil {
+			return err
+		}
+	}
+	row := r.buf[r.next]
+	r.next++
+	for i, v := range row {
+		dest[i] = sqlValue(v)
+	}
+	return nil
+}
+
+// readBatch pulls one RowBatch/Done/Error frame off the connection.
+func (r *rows) readBatch() error {
+	typ, payload, err := r.c.readFrame()
+	if err != nil {
+		r.finish()
+		r.err = err
+		return err
+	}
+	switch typ {
+	case wire.FrameRowBatch:
+		d := wire.NewDecoder(payload)
+		n := int(d.U16())
+		r.buf = r.buf[:0]
+		r.next = 0
+		for i := 0; i < n; i++ {
+			r.buf = append(r.buf, d.Row())
+		}
+		if d.Err() != nil {
+			r.c.broken = true
+			r.finish()
+			r.err = d.Err()
+			return r.err
+		}
+		return nil
+	case wire.FrameDone:
+		r.done = true
+		r.finish()
+		return nil
+	case wire.FrameError:
+		r.done = true
+		r.finish()
+		r.err = errorFromWire(wire.DecodeError(payload), nil)
+		return r.err
+	default:
+		r.c.broken = true
+		r.finish()
+		r.err = fmt.Errorf("gignite driver: unexpected stream frame %#x", typ)
+		return r.err
+	}
+}
+
+func (r *rows) finish() {
+	if r.stop != nil {
+		r.stop()
+		r.stop = nil
+	}
+}
+
+// Close drains the remainder of the stream so the connection is ready
+// for the next request. A Cancel frame is sent first so a query still
+// executing server-side is aborted rather than waited out.
+func (r *rows) Close() error {
+	if r.done || r.c.broken {
+		r.finish()
+		return nil
+	}
+	_ = r.c.writeFrame(wire.FrameCancel, nil)
+	for !r.done {
+		if err := r.readBatch(); err != nil {
+			// The terminal Error frame (e.g. canceled) still ends the
+			// stream cleanly; io errors broke the conn already.
+			break
+		}
+	}
+	r.finish()
+	return nil
+}
+
+// wireValue converts a database/sql driver.Value into the engine's
+// value model for the Execute frame.
+func wireValue(v driver.Value) (types.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return types.Null, nil
+	case int64:
+		return types.NewInt(x), nil
+	case float64:
+		return types.NewFloat(x), nil
+	case bool:
+		return types.NewBool(x), nil
+	case string:
+		return types.NewString(x), nil
+	case []byte:
+		return types.NewString(string(x)), nil
+	case time.Time:
+		return types.NewDate(x.UTC().Unix() / 86400), nil
+	default:
+		return types.Null, fmt.Errorf("gignite driver: unsupported parameter type %T", v)
+	}
+}
+
+// sqlValue converts an engine value into a database/sql driver.Value.
+// Dates surface as time.Time (UTC midnight), matching how DATE columns
+// scan into time.Time.
+func sqlValue(v types.Value) driver.Value {
+	switch v.K {
+	case types.KindNull:
+		return nil
+	case types.KindInt:
+		return v.I
+	case types.KindFloat:
+		return v.F
+	case types.KindString:
+		return v.S
+	case types.KindBool:
+		return v.I != 0
+	case types.KindDate:
+		return v.Time()
+	default:
+		return nil
+	}
+}

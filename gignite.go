@@ -92,6 +92,10 @@ var (
 	// ErrMemoryExceeded: the query charged more estimated operator state
 	// than Config.QueryMemLimitBytes allows; only the query aborts.
 	ErrMemoryExceeded = governor.ErrMemoryExceeded
+	// ErrEngineClosed: the engine was Closed — new statements are rejected
+	// and a second Close reports it too. The serving layer maps it to the
+	// wire protocol's "closing" error code during graceful drain.
+	ErrEngineClosed = errors.New("gignite: engine is closed")
 )
 
 // FaultPlan is a deterministic fault-injection plan (see package faults
@@ -299,6 +303,14 @@ type Engine struct {
 	gov     *governor.Governor
 	plans   *plancache.Cache // nil when Config.PlanCacheSize == 0
 	queryID atomic.Uint64
+
+	// Close/drain state (DESIGN.md §16): closed rejects new statements,
+	// ops counts statements between beginOp/endOp, and drained is closed
+	// by the last op to finish after Close.
+	shutMu  sync.Mutex
+	closed  bool
+	ops     int
+	drained chan struct{}
 }
 
 // engineMetrics caches the registry handles the per-query hot path
@@ -311,6 +323,7 @@ type engineMetrics struct {
 	hedges, hedgesWon           *obs.Counter
 	planHits, planMisses        *obs.Counter
 	planEvictions               *obs.Counter
+	planSkipped                 *obs.Counter
 	inflight                    *obs.Gauge
 	modeledSeconds, wallSeconds *obs.Histogram
 }
@@ -368,6 +381,7 @@ func Open(cfg Config) *Engine {
 		planHits:       reg.Counter("plan_cache_hits_total"),
 		planMisses:     reg.Counter("plan_cache_misses_total"),
 		planEvictions:  reg.Counter("plan_cache_evictions_total"),
+		planSkipped:    reg.Counter("queries_planning_skipped_total"),
 		inflight:       reg.Gauge("queries_inflight"),
 		modeledSeconds: reg.Histogram("query_modeled_seconds", obs.DefaultTimeBuckets()),
 		wallSeconds:    reg.Histogram("query_wall_seconds", obs.DefaultTimeBuckets()),
@@ -397,6 +411,80 @@ func Open(cfg Config) *Engine {
 // latency histograms across every query executed so far); per-query views
 // live on Result.Obs.
 func (e *Engine) Metrics() obs.Snapshot { return e.metrics.Snapshot() }
+
+// Registry exposes the engine's live metrics registry so in-process
+// subsystems (the network server, sidecar exporters) can register their
+// own series next to the engine's and serve one coherent snapshot.
+func (e *Engine) Registry() *obs.Registry { return e.metrics }
+
+// beginOp admits one statement into the engine's lifecycle accounting;
+// it fails once Close has been called. Every beginOp is paired with
+// endOp, which lets Close wait for in-flight statements to drain.
+func (e *Engine) beginOp() error {
+	e.shutMu.Lock()
+	defer e.shutMu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	e.ops++
+	return nil
+}
+
+func (e *Engine) endOp() {
+	e.shutMu.Lock()
+	e.ops--
+	if e.closed && e.ops == 0 && e.drained != nil {
+		close(e.drained)
+		e.drained = nil
+	}
+	e.shutMu.Unlock()
+}
+
+// DefaultDrainTimeout bounds Close()'s wait for in-flight queries.
+const DefaultDrainTimeout = 30 * time.Second
+
+// Close drains the engine: new statements are rejected with
+// ErrEngineClosed immediately, and Close returns once every in-flight
+// statement has finished, waiting at most DefaultDrainTimeout. A second
+// Close returns ErrEngineClosed. Use CloseContext to bound the drain
+// with your own deadline.
+func (e *Engine) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), DefaultDrainTimeout)
+	defer cancel()
+	return e.CloseContext(ctx)
+}
+
+// CloseContext is Close with a caller-supplied drain bound: it marks the
+// engine closed, then waits for queries_inflight to reach zero or ctx to
+// fire, whichever comes first. When ctx fires first the engine is still
+// closed (stragglers finish on their own), and the error reports how many
+// statements were still running.
+func (e *Engine) CloseContext(ctx context.Context) error {
+	e.shutMu.Lock()
+	if e.closed {
+		e.shutMu.Unlock()
+		return fmt.Errorf("%w (Close called twice)", ErrEngineClosed)
+	}
+	e.closed = true
+	var drained chan struct{}
+	if e.ops > 0 {
+		drained = make(chan struct{})
+		e.drained = drained
+	}
+	e.shutMu.Unlock()
+	if drained == nil {
+		return nil
+	}
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		e.shutMu.Lock()
+		n := e.ops
+		e.shutMu.Unlock()
+		return fmt.Errorf("gignite: drain interrupted with %d statement(s) in flight: %w", n, ctx.Err())
+	}
+}
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
@@ -488,6 +576,10 @@ func (e *Engine) Exec(query string) (*Result, error) {
 // context.DeadlineExceeded) once it fires. DDL and INSERT are not
 // cancellable mid-flight.
 func (e *Engine) ExecContext(ctx context.Context, query string) (*Result, error) {
+	if err := e.beginOp(); err != nil {
+		return nil, err
+	}
+	defer e.endOp()
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
@@ -577,6 +669,10 @@ func (e *Engine) Query(query string) (*Result, error) {
 
 // QueryContext executes a SELECT under a context (see ExecContext).
 func (e *Engine) QueryContext(ctx context.Context, query string) (*Result, error) {
+	if err := e.beginOp(); err != nil {
+		return nil, err
+	}
+	defer e.endOp()
 	sel, err := sql.ParseSelect(query)
 	if err != nil {
 		return nil, err
@@ -869,6 +965,9 @@ func (e *Engine) recordQuery(res *Result, qobs *obs.QueryObs, src string) {
 	e.em.pruned.Add(float64(res.Stats.RowsPruned))
 	e.em.hedges.Add(float64(res.Stats.Hedges))
 	e.em.hedgesWon.Add(float64(res.Stats.HedgesWon))
+	if res.Stats.PlanningSkipped {
+		e.em.planSkipped.Inc()
+	}
 	e.em.modeledSeconds.Observe(res.Modeled.Seconds())
 	if qobs != nil {
 		e.em.wallSeconds.Observe(time.Duration(qobs.WallNanos).Seconds())

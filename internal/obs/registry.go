@@ -267,6 +267,44 @@ func (s Snapshot) Text() string {
 	return sb.String()
 }
 
+// Prometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` line per family, counters and
+// gauges as bare samples, histograms as cumulative `_bucket{le="..."}`
+// series plus `_sum` and `_count`. The serving layer's /metrics endpoint
+// returns exactly this.
+func (s Snapshot) Prometheus() string {
+	var sb strings.Builder
+	for _, name := range sortedNames(s.Counters) {
+		fmt.Fprintf(&sb, "# TYPE %s counter\n%s %s\n", name, name, promFloat(s.Counters[name]))
+	}
+	for _, name := range sortedNames(s.Gauges) {
+		fmt.Fprintf(&sb, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(s.Gauges[name]))
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := s.Histograms[name]
+		fmt.Fprintf(&sb, "# TYPE %s histogram\n", name)
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := "+Inf"
+			if !math.IsInf(b.Le, 1) {
+				le = promFloat(b.Le)
+			}
+			fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n", name, le, cum)
+		}
+		fmt.Fprintf(&sb, "%s_sum %s\n", name, promFloat(h.Sum))
+		fmt.Fprintf(&sb, "%s_count %d\n", name, h.Count)
+	}
+	return sb.String()
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
 func sortedNames(m map[string]float64) []string {
 	out := make([]string, 0, len(m))
 	for name := range m {

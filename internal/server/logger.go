@@ -1,0 +1,58 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"gignite"
+)
+
+// Logger is the serving layer's mutex-guarded log sink. Engine log lines
+// (slow-query log) and per-session server lines from concurrent
+// connections all funnel through one Logger, so lines from different
+// sessions never interleave mid-line: each Printf renders the full line
+// — prefix, message, newline — into a private buffer and hands the
+// writer exactly one Write under the mutex.
+type Logger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLogger wraps a writer. A nil writer yields a no-op logger (every
+// method is safe on it).
+func NewLogger(w io.Writer) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{w: w}
+}
+
+// Printf logs one line with the plain "gignited" prefix.
+func (l *Logger) Printf(format string, args ...interface{}) {
+	l.logf("gignited", format, args...)
+}
+
+// Func returns a gignite.LogFunc that prefixes every line with the given
+// tag — sessions use "conn N" so a log reader can attribute each line to
+// its connection, and the engine gets "engine".
+func (l *Logger) Func(prefix string) gignite.LogFunc {
+	return func(format string, args ...interface{}) {
+		l.logf(prefix, format, args...)
+	}
+}
+
+func (l *Logger) logf(prefix, format string, args ...interface{}) {
+	if l == nil {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	if !strings.HasSuffix(msg, "\n") {
+		msg += "\n"
+	}
+	line := "[" + prefix + "] " + msg
+	l.mu.Lock()
+	_, _ = io.WriteString(l.w, line)
+	l.mu.Unlock()
+}

@@ -35,6 +35,10 @@ type Stmt struct {
 // at bind time, and arguments are coerced to it (or passed through when
 // no hint was derivable).
 func (e *Engine) Prepare(query string) (*Stmt, error) {
+	if err := e.beginOp(); err != nil {
+		return nil, err
+	}
+	defer e.endOp()
 	sel, err := sql.ParseSelect(query)
 	if err != nil {
 		return nil, err
@@ -80,6 +84,10 @@ func (s *Stmt) Query(args ...Value) (*Result, error) {
 
 // QueryContext is Query with cancellation (see Engine.ExecContext).
 func (s *Stmt) QueryContext(ctx context.Context, args ...Value) (*Result, error) {
+	if err := s.e.beginOp(); err != nil {
+		return nil, err
+	}
+	defer s.e.endOp()
 	res, _, err := s.e.run(ctx, s.sel, s.src, args, func() (*plancache.Entry, bool, bool, error) {
 		entry, skipped, err := s.entry()
 		// The entry is retained (by the Stmt or the cache), so the
