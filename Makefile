@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench chaos overload plancache benchgate benchgate-update serve fuzz-smoke ci
+.PHONY: build test race vet bench chaos overload plancache adaptive benchgate benchgate-update serve fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,15 @@ overload:
 # on/off. Exits non-zero on any violation.
 plancache:
 	$(GO) run ./cmd/benchrunner -exp plancache -sf 0.02 -sites 4 -metrics plancache-metrics.json
+
+# The adaptive-execution smoke check (DESIGN.md §17): under 10x
+# misestimated statistics the adaptive run must stay within 115% of the
+# correctly-estimated static plan's modeled time on Q5/Q9-shaped joins,
+# stay byte-identical to the misestimated static plan across
+# parallelism and fault plans, and fire at least one rewrite. Exits
+# non-zero on any violation.
+adaptive:
+	$(GO) run ./cmd/benchrunner -exp adaptive -sf 0.01 -sites 4 -metrics adaptive-metrics.json
 
 # The benchmark-regression gate: measure the committed BENCH_gate.json
 # query set and fail on >tolerance modeled-time or shipped-bytes

@@ -77,46 +77,40 @@ import (
 	"time"
 
 	"gignite"
+	"gignite/internal/engineflags"
 	"gignite/internal/harness"
 	"gignite/internal/obs"
 	"gignite/internal/tpch"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table3, failures, ablate, scaling, obs, filters, overload, plancache, benchgate, serve, serveaql, all")
+	exp := flag.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table3, failures, ablate, scaling, obs, filters, overload, plancache, adaptive, benchgate, serve, serveaql, all")
+	ef := engineflags.Bind(flag.CommandLine, engineflags.Defaults{System: "ic+m", Admission: 2, Hedge: 2})
 	sfs := flag.String("sf", "0.005,0.01", "comma-separated scale factors")
 	sites := flag.String("sites", "4,8", "comma-separated site counts")
-	par := flag.Int("par", 0, "host execution parallelism: 0 = GOMAXPROCS, 1 = sequential")
-	backups := flag.Int("backups", 0, "backup replicas per partition (0 = no redundancy)")
-	faultSpec := flag.String("faults", "", `fault plan, e.g. "seed=7;crash=2@4;slow=1x2;sendfail=0.05"`)
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock deadline (0 = none)")
-	filters := flag.Bool("filters", false, "enable runtime join-filter pushdown")
-	system := flag.String("system", "ic+m", "obs experiment: system variant (ic, ic+, ic+m)")
 	queries := flag.String("queries", "", "obs experiment: comma-separated TPC-H query ids (empty = paper set)")
 	metricsOut := flag.String("metrics", "", "obs/overload experiment: write the metrics JSON to this file")
 	traceOut := flag.String("trace", "", "obs experiment: write Chrome trace_event JSON to this file")
-	admission := flag.Int("admission", 2, "overload experiment: max concurrently admitted queries")
 	clients := flag.Int("clients", 8, "overload experiment: concurrent client goroutines")
-	maxmem := flag.Int64("maxmem", 0, "overload experiment: engine memory pool in bytes (0 = auto-size to ~2 queries)")
-	querymem := flag.Int64("querymem", 0, "overload experiment: per-query memory budget in bytes (0 = unlimited)")
-	hedge := flag.Float64("hedge", 2, "overload experiment: hedge factor over the wave median")
-	plancache := flag.Int("plancache", 0, "plan cache capacity for the table/figure experiments (0 disables)")
 	baseline := flag.String("baseline", "BENCH_gate.json", "benchgate experiment: committed baseline file")
 	updateBaseline := flag.Bool("update-baseline", false, "benchgate experiment: rewrite the baseline from current measurements")
 	flag.Parse()
 
-	plan, err := gignite.ParseFaults(*faultSpec)
+	plan, err := gignite.ParseFaults(ef.Faults)
 	if err != nil {
 		fatalf("bad -faults spec: %v", err)
 	}
 
 	opts := harness.Options{Env: harness.NewEnv()}
-	opts.Env.Parallelism = *par
-	opts.Env.Backups = *backups
+	opts.Env.Parallelism = ef.Parallelism
+	opts.Env.Backups = ef.Backups
 	opts.Env.Faults = plan
 	opts.Env.Timeout = *timeout
-	opts.Env.Filters = *filters
-	opts.Env.PlanCache = *plancache
+	opts.Env.Filters = ef.Filters
+	opts.Env.PlanCache = ef.PlanCache
+	opts.Env.Adaptive = ef.Adaptive
+	opts.Env.Misestimate = ef.Misestimate
 	for _, s := range strings.Split(*sfs, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 		if err != nil {
@@ -133,7 +127,7 @@ func main() {
 	}
 
 	if *exp == "obs" {
-		runObs(opts, *system, *queries, *metricsOut, *traceOut)
+		runObs(opts, ef.System, *queries, *metricsOut, *traceOut)
 		return
 	}
 	if *exp == "filters" {
@@ -141,7 +135,11 @@ func main() {
 		return
 	}
 	if *exp == "overload" {
-		runOverload(opts, *admission, *clients, *maxmem, *querymem, *hedge, *metricsOut)
+		runOverload(opts, ef.Admission, *clients, ef.MaxMem, ef.QueryMem, ef.Hedge, *metricsOut)
+		return
+	}
+	if *exp == "adaptive" {
+		runAdaptive(opts, ef.Misestimate, *queries, *metricsOut)
 		return
 	}
 	if *exp == "plancache" {
@@ -340,16 +338,8 @@ func runOverload(opts harness.Options, admission, clients int, maxmem, querymem 
 	sites := opts.Sites[0]
 	ids := []int{1, 3}
 
-	open := func(mut func(*gignite.Config)) *gignite.Engine {
-		cfg := harness.ConfigFor(harness.ICPlus, sites, sf)
-		cfg.ExecParallelism = opts.Env.Parallelism
-		mut(&cfg)
-		e := gignite.Open(cfg)
-		if err := tpch.Setup(e, sf); err != nil {
-			fatalf("overload: %v", err)
-		}
-		return e
-	}
+	x := expEnv{name: "overload", sys: harness.ICPlus, sites: sites, sf: sf, par: opts.Env.Parallelism}
+	open := x.open
 
 	// Reference run: an effectively ungoverned engine (the huge per-query
 	// budget only turns memory accounting on) provides the expected rows

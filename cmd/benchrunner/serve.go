@@ -57,7 +57,7 @@ func runServe(opts harness.Options, metricsOut string) {
 		if mut != nil {
 			mut(&cfg)
 		}
-		e := gignite.Open(cfg)
+		e := gignite.New(cfg)
 		if err := tpch.Setup(e, sf); err != nil {
 			fatalf("serve: %v", err)
 		}

@@ -23,53 +23,35 @@ import (
 	"strings"
 
 	"gignite"
+	"gignite/internal/engineflags"
 	"gignite/internal/harness"
 	"gignite/internal/ssb"
 	"gignite/internal/tpch"
 )
 
 func main() {
-	system := flag.String("system", "ic+m", "system variant: ic, ic+, ic+m")
+	ef := engineflags.Bind(flag.CommandLine, engineflags.Defaults{System: "ic+m", PlanCache: 64})
 	sites := flag.Int("sites", 4, "simulated processing sites")
 	load := flag.String("load", "", "preload a benchmark: tpch or ssb")
 	sf := flag.Float64("sf", 0.01, "benchmark scale factor")
 	slow := flag.Duration("slowquery", 0, "log queries whose modeled time reaches this threshold (0 disables)")
-	filters := flag.Bool("filters", false, "enable runtime join-filter pushdown (DESIGN.md \u00a713)")
-	admission := flag.Int("admission", 0, "max concurrently admitted queries, excess queued then shed (0 = unbounded)")
-	maxmem := flag.Int64("maxmem", 0, "engine-wide memory pool in bytes for estimated operator state (0 = no pool)")
-	querymem := flag.Int64("querymem", 0, "per-query memory budget in bytes (0 = unlimited)")
-	hedge := flag.Float64("hedge", 0, "hedge straggler instances past this factor over the wave median (0 disables; needs -backups >= 1)")
-	backups := flag.Int("backups", 0, "backup replicas per partition")
-	plancache := flag.Int("plancache", 64, "plan cache capacity in cached plans (0 disables)")
 	flag.Parse()
 
-	var cfg gignite.Config
-	switch strings.ToLower(*system) {
-	case "ic":
-		cfg = gignite.IC(*sites)
-	case "ic+", "icplus":
-		cfg = gignite.ICPlus(*sites)
-	case "ic+m", "icplusm":
-		cfg = gignite.ICPlusM(*sites)
-	default:
-		fmt.Fprintf(os.Stderr, "gignite: unknown system %q\n", *system)
+	opts, err := ef.Options(*sites)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gignite: %v\n", err)
 		os.Exit(1)
 	}
-	cfg.ExecWorkLimit = harness.WorkLimitFor(*sf)
-	cfg.RuntimeFilters = *filters
-	cfg.Backups = *backups
-	cfg.MaxConcurrentQueries = *admission
-	cfg.MemoryBudgetBytes = *maxmem
-	cfg.QueryMemLimitBytes = *querymem
-	cfg.HedgeAfter = *hedge
-	cfg.PlanCacheSize = *plancache
+	opts = append(opts, gignite.WithExecLimits(harness.WorkLimitFor(*sf), 0))
 	if *slow > 0 {
-		cfg.SlowQueryThreshold = *slow
-		cfg.Logger = func(format string, args ...interface{}) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
+		opts = append(opts, gignite.WithObservability(gignite.ObservabilityOptions{
+			SlowQueryThreshold: *slow,
+			Logger: func(format string, args ...interface{}) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		}))
 	}
-	e := gignite.Open(cfg)
+	e := gignite.Open(opts...)
 
 	switch strings.ToLower(*load) {
 	case "tpch":
@@ -91,7 +73,7 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "gignite %s shell on %d sites; \\q quits, \\t toggles timing, \\m prints metrics, \\cache prints plan-cache stats\n",
-		strings.ToUpper(*system), *sites)
+		strings.ToUpper(ef.System), *sites)
 	timing := true
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)

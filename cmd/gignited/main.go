@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"gignite"
+	"gignite/internal/engineflags"
 	"gignite/internal/harness"
 	"gignite/internal/server"
 	"gignite/internal/ssb"
@@ -41,42 +42,25 @@ func main() {
 }
 
 func run() int {
+	ef := engineflags.Bind(flag.CommandLine, engineflags.Defaults{System: "ic+m", PlanCache: 64})
 	addr := flag.String("addr", "127.0.0.1:7468", "wire-protocol listen address")
 	httpAddr := flag.String("http", "127.0.0.1:7469", "HTTP sidecar address for /metrics and /healthz (empty disables)")
-	system := flag.String("system", "ic+m", "system variant: ic, ic+, ic+m")
 	sites := flag.Int("sites", 4, "simulated processing sites")
 	load := flag.String("load", "", "preload a benchmark: tpch or ssb")
 	sf := flag.Float64("sf", 0.01, "benchmark scale factor")
 	maxconns := flag.Int("maxconns", 0, "max concurrently open client connections (0 = unbounded)")
 	token := flag.String("token", "", "require this auth token in the client handshake")
 	idle := flag.Duration("idle", server.DefaultIdleTimeout, "close sessions idle for this long (negative = never)")
-	admission := flag.Int("admission", 0, "max concurrently admitted queries (0 = unbounded)")
-	maxmem := flag.Int64("maxmem", 0, "engine-wide memory pool in bytes (0 = no pool)")
-	querymem := flag.Int64("querymem", 0, "per-query memory budget in bytes (0 = unlimited)")
-	plancache := flag.Int("plancache", 64, "plan cache capacity (0 disables)")
-	filters := flag.Bool("filters", false, "enable runtime join-filter pushdown")
 	drain := flag.Duration("drain", gignite.DefaultDrainTimeout, "graceful-drain deadline after SIGTERM")
 	quiet := flag.Bool("quiet", false, "suppress per-connection logging")
 	flag.Parse()
 
-	var cfg gignite.Config
-	switch strings.ToLower(*system) {
-	case "ic":
-		cfg = gignite.IC(*sites)
-	case "ic+", "icplus":
-		cfg = gignite.ICPlus(*sites)
-	case "ic+m", "icplusm":
-		cfg = gignite.ICPlusM(*sites)
-	default:
-		fmt.Fprintf(os.Stderr, "gignited: unknown system %q\n", *system)
+	opts, err := ef.Options(*sites)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gignited: %v\n", err)
 		return 2
 	}
-	cfg.ExecWorkLimit = harness.WorkLimitFor(*sf)
-	cfg.RuntimeFilters = *filters
-	cfg.MaxConcurrentQueries = *admission
-	cfg.MemoryBudgetBytes = *maxmem
-	cfg.QueryMemLimitBytes = *querymem
-	cfg.PlanCacheSize = *plancache
+	opts = append(opts, gignite.WithExecLimits(harness.WorkLimitFor(*sf), 0))
 
 	var log *server.Logger
 	if !*quiet {
@@ -84,9 +68,9 @@ func run() int {
 	}
 	// Engine logs (slow queries etc.) share the serialized writer.
 	if log != nil {
-		cfg.Logger = log.Func("engine")
+		opts = append(opts, gignite.WithObservability(gignite.ObservabilityOptions{Logger: log.Func("engine")}))
 	}
-	eng := gignite.Open(cfg)
+	eng := gignite.Open(opts...)
 
 	switch strings.ToLower(*load) {
 	case "tpch":

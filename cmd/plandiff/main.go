@@ -39,7 +39,7 @@ func main() {
 	for _, sys := range []harness.System{harness.IC, harness.ICPlus} {
 		cfg := harness.ConfigFor(sys, 4, sf)
 		cfg.ExecParallelism = 1 // sequential: plan diffs stay byte-stable
-		e := gignite.Open(cfg)
+		e := gignite.New(cfg)
 		if err := tpch.Setup(e, sf); err != nil {
 			panic(err)
 		}

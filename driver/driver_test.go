@@ -21,7 +21,7 @@ func startDB(t *testing.T, mut func(*gignite.Config)) (*sql.DB, *gignite.Engine)
 	if mut != nil {
 		mut(&cfg)
 	}
-	eng := gignite.Open(cfg)
+	eng := gignite.New(cfg)
 	srv := server.New(eng, server.Config{})
 	if err := srv.Listen(); err != nil {
 		t.Fatal(err)
@@ -193,7 +193,7 @@ func TestDeadlineExceeded(t *testing.T) {
 
 // TestDSNAndTx covers DSN forms and the no-transactions contract.
 func TestDSNAndTx(t *testing.T) {
-	eng := gignite.Open(gignite.ICPlus(2))
+	eng := gignite.New(gignite.ICPlus(2))
 	srv := server.New(eng, server.Config{AuthToken: "hunter2"})
 	if err := srv.Listen(); err != nil {
 		t.Fatal(err)

@@ -55,7 +55,7 @@ func main() {
 	for _, comp := range compositions {
 		cfg := gignite.IC(sites)
 		comp.mutate(&cfg)
-		e := gignite.Open(cfg)
+		e := gignite.New(cfg)
 		if err := tpch.Setup(e, sf); err != nil {
 			log.Fatal(err)
 		}

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gignite/internal/adaptive"
 	"gignite/internal/binder"
 	"gignite/internal/catalog"
 	"gignite/internal/cluster"
@@ -218,6 +219,21 @@ type Config struct {
 	// Results stay byte-identical; only the makespan (and the hedge
 	// counters) change. Requires Backups >= 1 to have anywhere to run.
 	HedgeAfter float64
+	// AdaptiveExec enables mid-query re-optimization from runtime
+	// sketches (DESIGN.md §17): exchange senders summarize the rows they
+	// ship, and at every wave barrier the engine may rewrite the
+	// not-yet-deployed fragments — flip a broadcast build side to hash
+	// routing, swap a hash join's build side, or collapse a variant split
+	// — when the observed cardinalities contradict the planner's
+	// estimates. Results stay byte-identical to the static plan; only the
+	// modeled time (and the adaptive counters) change. Off in every
+	// preset.
+	AdaptiveExec bool
+	// StatsMisestimate, when not 0 or 1, multiplies the planner's
+	// join-output estimates by the factor — a fault-injection knob for
+	// demonstrating (and testing) adaptive execution against controlled
+	// misestimation. It perturbs only the estimator, never execution.
+	StatsMisestimate float64
 	// PlanCacheSize bounds the engine's LRU plan cache in cached plans
 	// (DESIGN.md §15). Cached plans are keyed by a normalized digest of the
 	// statement text, invalidated whenever the catalog version changes
@@ -324,12 +340,19 @@ type engineMetrics struct {
 	planHits, planMisses        *obs.Counter
 	planEvictions               *obs.Counter
 	planSkipped                 *obs.Counter
+	replans, planSwitches       *obs.Counter
 	inflight                    *obs.Gauge
 	modeledSeconds, wallSeconds *obs.Histogram
 }
 
-// Open creates an engine with empty storage.
-func Open(cfg Config) *Engine {
+// New creates an engine with empty storage from a flat Config.
+//
+// Deprecated: new code should compose engines with Open and functional
+// options (WithPreset, WithCluster, WithGovernance, WithPlanCache,
+// WithAdaptive, WithObservability). New remains supported for callers
+// that build a Config programmatically; Open(WithConfig(cfg)) is the
+// exact equivalent.
+func New(cfg Config) *Engine {
 	if cfg.Sites <= 0 {
 		cfg.Sites = 1
 	}
@@ -382,6 +405,8 @@ func Open(cfg Config) *Engine {
 		planMisses:     reg.Counter("plan_cache_misses_total"),
 		planEvictions:  reg.Counter("plan_cache_evictions_total"),
 		planSkipped:    reg.Counter("queries_planning_skipped_total"),
+		replans:        reg.Counter("adaptive_replans_total"),
+		planSwitches:   reg.Counter("adaptive_plan_switches_total"),
 		inflight:       reg.Gauge("queries_inflight"),
 		modeledSeconds: reg.Histogram("query_modeled_seconds", obs.DefaultTimeBuckets()),
 		wallSeconds:    reg.Histogram("query_wall_seconds", obs.DefaultTimeBuckets()),
@@ -509,12 +534,20 @@ type Result struct {
 	Modeled time.Duration
 	// PlanText is filled by EXPLAIN and EXPLAIN ANALYZE.
 	PlanText string
-	// Stats carries execution telemetry.
+	// Stats carries execution telemetry. Prefer Report, which unifies
+	// Stats and Obs into one serializable record.
 	Stats ExecStats
 	// Obs is the query's full observation record: per-operator runtime
 	// statistics and the distributed trace (one span per fragment-instance
-	// attempt). nil for DDL/DML and plain EXPLAIN.
+	// attempt). nil for DDL/DML and plain EXPLAIN. Prefer Report for the
+	// flattened public view; Obs remains for trace export
+	// (obs.ChromeTrace) and span-level inspection.
 	Obs *obs.QueryObs
+
+	// adaptiveNotes carries the adaptive controller's per-node rewrite
+	// annotations into the EXPLAIN ANALYZE renderer (nil unless
+	// Config.AdaptiveExec rewrote something).
+	adaptiveNotes map[physical.Node]string
 }
 
 // ExecStats is per-query execution telemetry.
@@ -561,6 +594,11 @@ type ExecStats struct {
 	// prepared statement's retained plan), so no optimization ran for this
 	// execution.
 	PlanningSkipped bool
+	// AdaptiveReplans counts the re-planning passes run at wave barriers;
+	// AdaptiveSwitches the plan rewrites they applied (both 0 unless
+	// Config.AdaptiveExec is on — DESIGN.md §17).
+	AdaptiveReplans  int
+	AdaptiveSwitches int
 }
 
 // Exec parses and executes one SQL statement (DDL, INSERT, SELECT or
@@ -741,13 +779,15 @@ func (e *Engine) plan(sel *sql.SelectStmt) (physical.Node, []types.Kind, *volcan
 		JoinConditionSimplification: e.cfg.JoinConditionSimplification,
 	}
 	lp = hep.RunGroups(lp, rules.Stage1Groups(rc))
+	est := stats.New(e.catalog, !e.cfg.SwamiSchieferEstimation)
+	est.Misestimate = e.cfg.StatsMisestimate
 	vp := volcano.New(volcano.Config{
 		Rules:                 rc,
 		TwoPhase:              e.cfg.TwoPhaseOptimization,
 		EnableHashJoin:        e.cfg.HashJoin,
 		FullyDistributedJoins: e.cfg.FullyDistributedJoins,
 		Sites:                 e.cfg.Sites,
-		Est:                   stats.New(e.catalog, !e.cfg.SwamiSchieferEstimation),
+		Est:                   est,
 		CostParams: cost.Params{
 			LegacyUnits:           !e.cfg.StandardCostUnits,
 			ExchangePenaltyBug:    !e.cfg.FixExchangePenalty,
@@ -896,11 +936,24 @@ func (e *Engine) run(ctx context.Context, sel *sql.SelectStmt, src string, args 
 	if limit < 0 {
 		limit = 0
 	}
+	// The adaptive controller is built per execution over this execution's
+	// private plan tree: cached plans were cloned above, so a barrier
+	// rewrite never leaks into the cache and every execution re-adapts
+	// from its own runtime evidence.
+	var ac *adaptive.Controller
+	if e.cfg.AdaptiveExec {
+		ac, err = adaptive.New(fp, adaptive.Config{Sites: e.cfg.Sites, Variants: variants})
+		if err != nil {
+			e.em.failed.Inc()
+			return nil, nil, fmt.Errorf("gignite: adaptive: %w", err)
+		}
+	}
 	res, err := e.cluster.Run(ctx, fp, cluster.Opts{
 		Variants:   variants,
 		WorkLimit:  limit,
 		Mem:        lease,
 		HedgeAfter: e.cfg.HedgeAfter,
+		Adaptive:   ac,
 	})
 	if err != nil {
 		e.em.failed.Inc()
@@ -939,10 +992,13 @@ func (e *Engine) run(ctx context.Context, sel *sql.SelectStmt, src string, args 
 			RowsPruned:   res.RowsPruned,
 			Hedges:          res.Hedges,
 			HedgesWon:       res.HedgesWon,
-			MemPeakBytes:    lease.Peak(),
-			PlanNanos:       planNanos,
-			PlanningSkipped: skipped,
+			MemPeakBytes:     lease.Peak(),
+			PlanNanos:        planNanos,
+			PlanningSkipped:  skipped,
+			AdaptiveReplans:  res.Replans,
+			AdaptiveSwitches: res.Switches,
 		},
+		adaptiveNotes: res.Notes,
 	}
 	if qobs != nil {
 		out.Stats.Spans = len(qobs.Spans)
@@ -965,6 +1021,8 @@ func (e *Engine) recordQuery(res *Result, qobs *obs.QueryObs, src string) {
 	e.em.pruned.Add(float64(res.Stats.RowsPruned))
 	e.em.hedges.Add(float64(res.Stats.Hedges))
 	e.em.hedgesWon.Add(float64(res.Stats.HedgesWon))
+	e.em.replans.Add(float64(res.Stats.AdaptiveReplans))
+	e.em.planSwitches.Add(float64(res.Stats.AdaptiveSwitches))
 	if res.Stats.PlanningSkipped {
 		e.em.planSkipped.Inc()
 	}
@@ -1008,7 +1066,7 @@ func (e *Engine) explainAnalyze(ctx context.Context, sel *sql.SelectStmt, src st
 	if err != nil {
 		return nil, err
 	}
-	res.PlanText = formatAnalyzed(fp, res.Obs, &res.Stats)
+	res.PlanText = formatAnalyzed(fp, res.Obs, &res.Stats, res.adaptiveNotes)
 	res.Columns = nil
 	res.Rows = nil
 	return res, nil
@@ -1017,7 +1075,7 @@ func (e *Engine) explainAnalyze(ctx context.Context, sel *sql.SelectStmt, src st
 // formatAnalyzed renders the EXPLAIN ANALYZE report: the fragmented plan
 // with one "[est=... act=... err=...]" annotation per operator, followed
 // by a query-level summary.
-func formatAnalyzed(fp *fragment.Plan, q *obs.QueryObs, st *ExecStats) string {
+func formatAnalyzed(fp *fragment.Plan, q *obs.QueryObs, st *ExecStats, notes map[physical.Node]string) string {
 	var sb strings.Builder
 	for _, f := range fp.Fragments {
 		role := "fragment"
@@ -1033,13 +1091,17 @@ func formatAnalyzed(fp *fragment.Plan, q *obs.QueryObs, st *ExecStats) string {
 			inst = fo.Instances
 		}
 		fmt.Fprintf(&sb, "--- %s %d (instances=%d) ---\n", role, f.ID, inst)
-		formatAnalyzedNode(&sb, f.Root, fo, 0)
+		formatAnalyzedNode(&sb, f.Root, fo, notes, 0)
 	}
 	if q != nil {
 		for _, f := range q.Filters {
 			fmt.Fprintf(&sb, "runtime filter #%d: join frag %d <- exchange %d (probe frag %d) keys=%d build_rows=%d bytes=%d tested=%d pruned=%d (%.1f%% pruned)\n",
 				f.ID, f.JoinFrag, f.Exchange, f.ProbeFrag,
 				f.Keys, f.BuildRows, f.Bytes, f.RowsTested, f.RowsPruned, 100*(1-f.Selectivity()))
+		}
+		for _, rp := range q.Replans {
+			fmt.Fprintf(&sb, "adaptive replan: wave=%d frag=%d %s %s %s -> %s (est=%.0f act=%d)\n",
+				rp.Wave, rp.Frag, rp.Kind, rp.Op, rp.From, rp.To, rp.EstRows, rp.ActRows)
 		}
 		fmt.Fprintf(&sb, "modeled=%v wall=%v work=%.0f bytes=%.0f instances=%d retries=%d spans=%d",
 			time.Duration(q.ModeledNanos), time.Duration(q.WallNanos),
@@ -1053,13 +1115,19 @@ func formatAnalyzed(fp *fragment.Plan, q *obs.QueryObs, st *ExecStats) string {
 		if st.MemPeakBytes > 0 {
 			fmt.Fprintf(&sb, " mem_peak=%d", st.MemPeakBytes)
 		}
+		if st.AdaptiveReplans > 0 {
+			fmt.Fprintf(&sb, " replans=%d switches=%d", st.AdaptiveReplans, st.AdaptiveSwitches)
+		}
 		sb.WriteByte('\n')
 	}
 	return sb.String()
 }
 
-func formatAnalyzedNode(sb *strings.Builder, n physical.Node, fo *obs.FragmentObs, depth int) {
+func formatAnalyzedNode(sb *strings.Builder, n physical.Node, fo *obs.FragmentObs, notes map[physical.Node]string, depth int) {
 	fmt.Fprintf(sb, "%s%s", strings.Repeat("  ", depth), n.Describe())
+	if note, ok := notes[n]; ok {
+		fmt.Fprintf(sb, "  [%s]", note)
+	}
 	if fo != nil {
 		if i, ok := fo.OpIndex[n]; ok {
 			op := fo.Ops[i]
@@ -1083,7 +1151,7 @@ func formatAnalyzedNode(sb *strings.Builder, n physical.Node, fo *obs.FragmentOb
 	}
 	sb.WriteByte('\n')
 	for _, in := range n.Inputs() {
-		formatAnalyzedNode(sb, in, fo, depth+1)
+		formatAnalyzedNode(sb, in, fo, notes, depth+1)
 	}
 }
 

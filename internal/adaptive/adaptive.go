@@ -1,0 +1,788 @@
+// Package adaptive implements mid-query re-optimization from runtime
+// sketches (DESIGN.md §17). At every wave barrier the cluster scheduler
+// hands the controller the per-exchange actuals observed so far — exact
+// row counts plus distinct-count sketches built incrementally in the
+// exchange senders — and the controller re-derives cardinalities for the
+// fragments that have not been deployed yet. When the corrected numbers
+// cross a rewrite's profitability guard, the controller mutates the
+// pending part of the physical plan in place.
+//
+// Only rewrites with a result-stability proof are admissible:
+//
+//   - build-swap: flip a hash join's build side to the left input
+//     (Join.BuildLeft). The executor's build-left operator emits rows in
+//     exactly the order of the build-right operator, so output bytes are
+//     identical unconditionally.
+//   - dist-flip: retarget a pending broadcast build-side sender to hash
+//     routing on the join keys. Valid when the consuming join's left side
+//     is partitioned on its equi keys (the mapping target coincides), in
+//     which case every probe row meets exactly the same matching build
+//     rows in the same relative receiver order under either routing.
+//   - variant-regrade: collapse a pending fragment's §5.3 variant split
+//     back to one thread when the corrected input volume is too small to
+//     amortize the duplicate source reads. Re-grading permutes the
+//     (FromSite, FromVariant) concatenation order downstream, so it is
+//     gated behind an order-insensitivity analysis of the consuming plan
+//     (orderWashed): every consumer path must pass through exact,
+//     order-insensitive aggregation and end in a total-order sort.
+//
+// Decisions are pure functions of merged sketches, which the barrier
+// merges in deterministic job order; no wall-clock input exists, so the
+// same query under the same fault plan re-plans identically at every
+// ExecParallelism.
+package adaptive
+
+import (
+	"fmt"
+
+	"gignite/internal/expr"
+	"gignite/internal/fragment"
+	"gignite/internal/logical"
+	"gignite/internal/obs"
+	"gignite/internal/physical"
+	"gignite/internal/sketch"
+	"gignite/internal/types"
+)
+
+// Config tunes the controller's guards. Zero values select the defaults.
+type Config struct {
+	// Sites is the cluster's site count (drives the dist-flip guard).
+	Sites int
+	// Variants is the configured §5.3 variant count (drives variant
+	// safety checks and the re-grade baseline).
+	Variants int
+	// FlipMargin is the hysteresis factor a dist-flip's modeled benefit
+	// must exceed its cost by (default 1.3).
+	FlipMargin float64
+	// SwapMargin is how many times smaller the left input must be than
+	// the right before the build side swaps (default 2).
+	SwapMargin float64
+	// InfoMargin is the minimum est-vs-corrected divergence (as a
+	// symmetric ratio) before the controller reacts at all: rewrites are
+	// responses to misestimation, not second-guessing of the planner on
+	// its own numbers (default 1.5).
+	InfoMargin float64
+	// VariantMinRows is the corrected input volume below which a variant
+	// fragment re-grades to a single thread (default 1024).
+	VariantMinRows float64
+	// MaxCorrection clamps each act/est propagation ratio (default 1000).
+	MaxCorrection float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.FlipMargin <= 0 {
+		c.FlipMargin = 1.3
+	}
+	if c.SwapMargin <= 0 {
+		c.SwapMargin = 2
+	}
+	if c.InfoMargin <= 0 {
+		c.InfoMargin = 1.5
+	}
+	if c.VariantMinRows <= 0 {
+		c.VariantMinRows = 1024
+	}
+	if c.MaxCorrection <= 0 {
+		c.MaxCorrection = 1000
+	}
+	if c.Variants < 1 {
+		c.Variants = 1
+	}
+	if c.Sites < 1 {
+		c.Sites = 1
+	}
+	return c
+}
+
+// exchangePenalty mirrors the planner's per-target exchange setup cost
+// (cost.Exchange's 200-per-target term): the fixed price of involving a
+// site in a shuffle, used by the dist-flip guard.
+const exchangePenalty = 200
+
+// consumerRef locates one exchange's consuming side.
+type consumerRef struct {
+	frag *fragment.Fragment
+	recv *physical.Receiver
+	n    int // number of receivers found for the exchange (multi-consumer DAGs)
+}
+
+// Controller drives adaptive execution for one query. It is not safe for
+// concurrent use; the cluster scheduler calls it from barriers only.
+type Controller struct {
+	plan     *fragment.Plan
+	waves    [][]*fragment.Fragment
+	cfg      Config
+	fragWave map[int]int          // fragment ID -> wave index
+	consumer map[int]*consumerRef // exchange -> consuming receiver
+	skeys    map[int][]int        // exchange -> sketch key columns (sender coords)
+
+	actRows map[int]int64   // exchange -> observed sender output rows
+	actNDV  map[int]float64 // exchange -> sketch distinct estimate on skeys
+
+	varOverride map[int]int // fragment ID -> forced variant count
+	touched     map[physical.Node]bool
+	notes       map[physical.Node]string
+	replans     []obs.Replan
+}
+
+// New builds a controller for a fragmented plan. The plan's senders and
+// receivers may be mutated by later OnBarrier calls, so the plan must be
+// private to this execution (the engine clones cached plans before
+// fragmenting, which also guarantees a cached plan never retains a
+// post-adaptation tree).
+func New(plan *fragment.Plan, cfg Config) (*Controller, error) {
+	waves, err := plan.Waves()
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		plan:        plan,
+		waves:       waves,
+		cfg:         cfg.withDefaults(),
+		fragWave:    make(map[int]int),
+		consumer:    make(map[int]*consumerRef),
+		skeys:       make(map[int][]int),
+		actRows:     make(map[int]int64),
+		actNDV:      make(map[int]float64),
+		varOverride: make(map[int]int),
+		touched:     make(map[physical.Node]bool),
+		notes:       make(map[physical.Node]string),
+	}
+	for w, wave := range waves {
+		for _, f := range wave {
+			c.fragWave[f.ID] = w
+		}
+	}
+	for _, f := range plan.Fragments {
+		f := f
+		physical.Walk(f.Root, func(n physical.Node) bool {
+			if rv, ok := n.(*physical.Receiver); ok {
+				ref := c.consumer[rv.ExchangeID]
+				if ref == nil {
+					ref = &consumerRef{frag: f, recv: rv}
+					c.consumer[rv.ExchangeID] = ref
+				}
+				ref.n++
+			}
+			return true
+		})
+	}
+	c.planSketchKeys()
+	return c, nil
+}
+
+// planSketchKeys chooses, for every exchange, the columns the sender-side
+// sketch keys on: the consuming join's equi keys mapped down to the
+// sender schema, so the sketch's distinct estimate is usable as the
+// Swami-Schiefer divisor when join sizes are re-derived. Exchanges with
+// no (mappable) consuming join sketch on the exchange's own target keys
+// (the exec layer's fallback) — their row counts still feed corrections.
+func (c *Controller) planSketchKeys() {
+	for _, f := range c.plan.Fragments {
+		physical.Walk(f.Root, func(n physical.Node) bool {
+			j, ok := n.(*physical.Join)
+			if !ok || len(j.Keys) == 0 {
+				return true
+			}
+			for side := 0; side < 2; side++ {
+				keys := make([]int, len(j.Keys))
+				for i, k := range j.Keys {
+					if side == 0 {
+						keys[i] = k.Left
+					} else {
+						keys[i] = k.Right
+					}
+				}
+				if rv, mapped, ok := mapKeysDown(j.Inputs()[side], keys); ok {
+					if _, dup := c.skeys[rv.ExchangeID]; !dup {
+						c.skeys[rv.ExchangeID] = mapped
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Every exchange sketches (row counts are always wanted); exchanges
+	// without a join-derived key set get a nil entry (fallback keys).
+	for ex := range c.plan.Producer {
+		if _, ok := c.skeys[ex]; !ok {
+			c.skeys[ex] = nil
+		}
+	}
+}
+
+// SketchKeys returns the per-exchange sketch key columns for the exec
+// layer. An entry with a nil value means "sketch this exchange on its
+// target keys". The map must not be mutated.
+func (c *Controller) SketchKeys() map[int][]int { return c.skeys }
+
+// VariantFor resolves the §5.3 variant count for a fragment, applying any
+// re-grade decided at an earlier barrier.
+func (c *Controller) VariantFor(fragID, configured int) int {
+	if n, ok := c.varOverride[fragID]; ok {
+		return n
+	}
+	return configured
+}
+
+// Notes exposes the per-node rewrite annotations for EXPLAIN ANALYZE.
+func (c *Controller) Notes() map[physical.Node]string { return c.notes }
+
+// Replans returns every rewrite applied so far, in decision order.
+func (c *Controller) Replans() []obs.Replan { return c.replans }
+
+// OnBarrier ingests the merged sketches of all completed exchanges and
+// re-plans the pending waves (every wave after `wave`). It returns the
+// rewrites applied at this barrier. sketches is cumulative: the caller
+// passes the same map every barrier, grown and merged in deterministic
+// job order.
+func (c *Controller) OnBarrier(wave int, sketches map[int]*sketch.Sketch) []obs.Replan {
+	for ex, sk := range sketches {
+		c.actRows[ex] = sk.Rows()
+		c.actNDV[ex] = sk.NDV()
+	}
+	before := len(c.replans)
+	for w := wave + 1; w < len(c.waves); w++ {
+		for _, f := range c.waves[w] {
+			c.tryDistFlip(f, wave)
+			c.tryBuildSwap(f, wave)
+			c.tryRegrade(f, wave)
+		}
+	}
+	return c.replans[before:]
+}
+
+// ---------------------------------------------------------------------------
+// Cardinality correction
+
+// est reads a node's planner estimate, floored at one row.
+func est(n physical.Node) float64 {
+	e := n.Props().EstRows
+	if e < 1 {
+		return 1
+	}
+	return e
+}
+
+// corrected re-derives a node's cardinality from runtime observations:
+// receivers of completed exchanges return their exact counts, joins are
+// recomputed with the Swami-Schiefer formula over corrected inputs and
+// sketch-based distinct counts (sidestepping whatever error the planner's
+// join estimates carried), and every other operator scales its estimate
+// by its children's correction ratios, clamped to MaxCorrection.
+func (c *Controller) corrected(n physical.Node) float64 {
+	return c.correctedDepth(n, 0)
+}
+
+func (c *Controller) correctedDepth(n physical.Node, depth int) float64 {
+	if depth > 64 { // plans are trees; this is a pure safety net
+		return est(n)
+	}
+	switch t := n.(type) {
+	case *physical.Receiver:
+		if rows, ok := c.actRows[t.ExchangeID]; ok {
+			if rows < 1 {
+				return 0
+			}
+			return float64(rows)
+		}
+		// Pending producer: follow the exchange to its sender subtree.
+		if p := c.plan.Producer[t.ExchangeID]; p != nil {
+			if s, ok := p.Root.(*physical.Sender); ok {
+				return c.correctedDepth(s.Inputs()[0], depth+1)
+			}
+		}
+		return est(n)
+	case *physical.Join:
+		if len(t.Keys) > 0 {
+			l := c.correctedDepth(t.Inputs()[0], depth+1)
+			r := c.correctedDepth(t.Inputs()[1], depth+1)
+			d := c.sideNDV(t, 0, l)
+			if rd := c.sideNDV(t, 1, r); rd > d {
+				d = rd
+			}
+			if d < 1 {
+				d = 1
+			}
+			out := l * r / d
+			switch t.Type {
+			case logical.JoinLeft:
+				if out < l {
+					out = l
+				}
+			case logical.JoinSemi:
+				if out > l {
+					out = l
+				}
+			case logical.JoinAnti:
+				out = l - out
+			}
+			if out < 1 {
+				out = 1
+			}
+			return out
+		}
+	}
+	ins := n.Inputs()
+	if len(ins) == 0 {
+		return est(n)
+	}
+	scale := 1.0
+	for _, in := range ins {
+		ratio := c.correctedDepth(in, depth+1) / est(in)
+		if ratio > c.cfg.MaxCorrection {
+			ratio = c.cfg.MaxCorrection
+		}
+		if ratio < 1/c.cfg.MaxCorrection {
+			ratio = 1 / c.cfg.MaxCorrection
+		}
+		scale *= ratio
+	}
+	return est(n) * scale
+}
+
+// sideNDV estimates the distinct count of one join side on its equi keys:
+// the exchange sketch when the side bottoms out (through row-local
+// operators) in a sketched receiver keyed on exactly those columns, else
+// the side's corrected row count (the unique-key assumption — exact for
+// co-located sides joining on their affinity key, conservative
+// otherwise).
+func (c *Controller) sideNDV(j *physical.Join, side int, rows float64) float64 {
+	keys := make([]int, len(j.Keys))
+	for i, k := range j.Keys {
+		if side == 0 {
+			keys[i] = k.Left
+		} else {
+			keys[i] = k.Right
+		}
+	}
+	if rv, mapped, ok := mapKeysDown(j.Inputs()[side], keys); ok {
+		if ndv, has := c.actNDV[rv.ExchangeID]; has && intsEqual(c.skeys[rv.ExchangeID], mapped) {
+			return ndv
+		}
+	}
+	return rows
+}
+
+// mapKeysDown maps column ordinals from a node down a row-local chain
+// (filters and pass-through projections) to the receiver at its bottom.
+// ok is false when the chain contains any other operator or a computed
+// projection over a key column.
+func mapKeysDown(n physical.Node, keys []int) (*physical.Receiver, []int, bool) {
+	ks := append([]int(nil), keys...)
+	for {
+		switch t := n.(type) {
+		case *physical.Receiver:
+			return t, ks, true
+		case *physical.Filter:
+			n = t.Inputs()[0]
+		case *physical.Project:
+			for i, k := range ks {
+				cr, ok := t.Exprs[k].(*expr.ColRef)
+				if !ok {
+					return nil, nil, false
+				}
+				ks[i] = cr.Index
+			}
+			n = t.Inputs()[0]
+		default:
+			return nil, nil, false
+		}
+	}
+}
+
+// diverged reports whether a corrected value contradicts its estimate by
+// at least the info margin (symmetric ratio, +1-smoothed).
+func (c *Controller) diverged(estimate, correctedV float64) bool {
+	a := (estimate + 1) / (correctedV + 1)
+	if a < 1 {
+		a = 1 / a
+	}
+	return a >= c.cfg.InfoMargin
+}
+
+// ---------------------------------------------------------------------------
+// Trigger (a): distribution flip
+
+// tryDistFlip retargets a pending broadcast build-side sender to hash
+// routing when the observed build side crossed the distribution-trait
+// threshold: shipping sites× copies of a large build input loses to
+// partitioning it once. Validity (the byte-identity proof in the package
+// comment) requires the consuming join's left side to be partitioned on
+// its equi keys, so the mapping target — and with it the join's site set
+// and output placement — is unchanged by the flip.
+//
+// The reverse rewrite (hash → broadcast) carries the same proof but is
+// strictly dominated under the cost model — same site set, sites× the
+// network volume, sites× the per-site build rows — so the guard never
+// selects it; "flipping back" is the hash routing simply being retained
+// when the corrected build side stays small.
+func (c *Controller) tryDistFlip(p *fragment.Fragment, barrier int) {
+	sender, ok := p.Root.(*physical.Sender)
+	if !ok || sender.Target.Type != physical.Broadcast || c.touched[sender] {
+		return
+	}
+	ref := c.consumer[p.ExchangeID]
+	if ref == nil || ref.n != 1 {
+		return
+	}
+	j, side := consumingJoin(ref.frag, ref.recv)
+	if j == nil || side != 1 || c.touched[j] {
+		return
+	}
+	if j.Algo != physical.HashAlgo || len(j.Keys) == 0 || j.Mapping != "bcast-right" {
+		return
+	}
+	leftKeys := make([]int, len(j.Keys))
+	rightKeys := make([]int, len(j.Keys))
+	for i, k := range j.Keys {
+		leftKeys[i], rightKeys[i] = k.Left, k.Right
+	}
+	// Validity: the left side must already be partitioned on its equi
+	// keys — then hash routing delivers every matching build row to the
+	// site that owns its probe rows, in the same relative order.
+	ld := j.Inputs()[0].Dist()
+	if ld.Type != physical.Hash || !intsEqual(ld.Keys, leftKeys) {
+		return
+	}
+	// The sender ships its own child's schema; the receiver chain must
+	// map the join's right keys onto it losslessly.
+	rv, mapped, ok := mapKeysDown(j.Inputs()[1], rightKeys)
+	if !ok || rv != ref.recv {
+		return
+	}
+	// Variant safety: a split-mode receiver slices the build rows by a
+	// per-variant counter, and hash routing changes each site's multiset.
+	if vs := fragment.BuildVariants(ref.frag, c.VariantFor(ref.frag.ID, c.cfg.Variants)); vs != nil && vs.Modes[rv] == fragment.SplitMode {
+		return
+	}
+	estR := est(sender)
+	actR := c.corrected(sender.Inputs()[0])
+	if !c.diverged(estR, actR) {
+		return
+	}
+	// Guard: partitioning saves (sites-1) shipped copies of the build
+	// side; the flip must buy more than the hysteresis-scaled fixed cost
+	// of the shuffle.
+	sites := float64(c.cfg.Sites)
+	if actR*(sites-1) <= c.cfg.FlipMargin*exchangePenalty*sites {
+		return
+	}
+	from := sender.Target.String()
+	target := physical.HashDist(mapped...)
+	sender.Target = target
+	sender.Props().Dist = target
+	rv.Props().Dist = target
+	j.Mapping = "hash"
+	c.touched[sender], c.touched[j] = true, true
+	note := fmt.Sprintf("adaptive: dist-flip %s→%s (est=%.0f act=%.0f)", from, target, estR, actR)
+	c.notes[sender] = note
+	c.notes[j] = note
+	c.replans = append(c.replans, obs.Replan{
+		Wave: barrier, Frag: p.ID, Kind: "dist-flip", Op: "Sender",
+		From: from, To: target.String(), EstRows: estR, ActRows: int64(actR),
+	})
+}
+
+// consumingJoin finds the join whose input chain (row-local operators
+// only) reaches the given receiver, and which side of the join it feeds.
+// side is -1 when no such join exists.
+func consumingJoin(f *fragment.Fragment, rv *physical.Receiver) (*physical.Join, int) {
+	var found *physical.Join
+	side := -1
+	physical.Walk(f.Root, func(n physical.Node) bool {
+		j, ok := n.(*physical.Join)
+		if !ok || found != nil {
+			return found == nil
+		}
+		for s, in := range j.Inputs() {
+			if chainReaches(in, rv) {
+				found, side = j, s
+				return false
+			}
+		}
+		return true
+	})
+	return found, side
+}
+
+// chainReaches walks filters and projections from n down to see whether
+// the chain bottoms out at exactly rv.
+func chainReaches(n physical.Node, rv *physical.Receiver) bool {
+	for {
+		switch t := n.(type) {
+		case *physical.Receiver:
+			return t == rv
+		case *physical.Filter, *physical.Project:
+			n = t.(physical.Node).Inputs()[0]
+		default:
+			return false
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Trigger (b): build-side swap
+
+// tryBuildSwap flips a pending hash join's build side to the left input
+// when the corrected sizes invert the planner's estimate: the build side
+// pays the hash-table construction premium and holds the operator's
+// memory, so it should be the smaller input. Output bytes are identical
+// by construction of the build-left operator.
+func (c *Controller) tryBuildSwap(f *fragment.Fragment, barrier int) {
+	physical.Walk(f.Root, func(n physical.Node) bool {
+		j, ok := n.(*physical.Join)
+		if !ok || j.Algo != physical.HashAlgo || len(j.Keys) == 0 || j.BuildLeft || c.touched[j] {
+			return true
+		}
+		switch j.Type {
+		case logical.JoinInner, logical.JoinLeft, logical.JoinSemi, logical.JoinAnti:
+		default:
+			return true
+		}
+		estL, estR := est(j.Inputs()[0]), est(j.Inputs()[1])
+		l := c.corrected(j.Inputs()[0])
+		r := c.corrected(j.Inputs()[1])
+		// React only to misestimation: at least one side must have moved.
+		if !c.diverged(estL, l) && !c.diverged(estR, r) {
+			return true
+		}
+		if l*c.cfg.SwapMargin >= r {
+			return true
+		}
+		j.BuildLeft = true
+		c.touched[j] = true
+		c.notes[j] = fmt.Sprintf("adaptive: build-swap right→left (est L=%.0f R=%.0f, act L=%.0f R=%.0f)", estL, estR, l, r)
+		c.replans = append(c.replans, obs.Replan{
+			Wave: barrier, Frag: f.ID, Kind: "build-swap", Op: "Join",
+			From: "build=right", To: "build=left", EstRows: estR, ActRows: int64(r),
+		})
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Trigger (c): variant re-grade
+
+// tryRegrade collapses a pending fragment's variant split to one thread
+// when the corrected input volume cannot amortize the duplicate source
+// reads the split costs. The rewrite permutes downstream row order, so it
+// only fires when every consumer path washes that order out (orderWashed).
+func (c *Controller) tryRegrade(f *fragment.Fragment, barrier int) {
+	if c.cfg.Variants <= 1 {
+		return
+	}
+	if _, done := c.varOverride[f.ID]; done {
+		return
+	}
+	if fragment.BuildVariants(f, c.cfg.Variants) == nil {
+		return
+	}
+	sender, ok := f.Root.(*physical.Sender)
+	if !ok {
+		return
+	}
+	vol := c.corrected(sender.Inputs()[0])
+	physical.Walk(f.Root, func(n physical.Node) bool {
+		if rv, isRecv := n.(*physical.Receiver); isRecv {
+			if v := c.corrected(rv); v > vol {
+				vol = v
+			}
+		}
+		return true
+	})
+	if vol >= c.cfg.VariantMinRows {
+		return
+	}
+	if !c.orderWashed(f.ID, make(map[int]bool)) {
+		return
+	}
+	c.varOverride[f.ID] = 1
+	c.touched[sender] = true
+	c.notes[sender] = fmt.Sprintf("adaptive: variant-regrade %d→1 (act=%.0f rows)", c.cfg.Variants, vol)
+	c.replans = append(c.replans, obs.Replan{
+		Wave: barrier, Frag: f.ID, Kind: "variant-regrade", Op: "Fragment",
+		From: fmt.Sprintf("variants=%d", c.cfg.Variants), To: "variants=1",
+		EstRows: est(sender), ActRows: int64(vol),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Order-insensitivity analysis
+
+// orderWashed reports whether permuting the row order a fragment ships is
+// provably invisible in the final result bytes: every path from the
+// fragment's output to the query root must pass through aggregation whose
+// calls are exact and order-insensitive (COUNT, MIN, MAX, integer SUM),
+// reach a reduction, and then a Sort whose keys cover all of the
+// reduction's group columns — group keys are unique per group, so that
+// sort imposes a total order. Above the sort only row-local,
+// order-preserving operators may appear, and the sort must live in the
+// root fragment (a later exchange would re-perturb the order).
+func (c *Controller) orderWashed(fragID int, visiting map[int]bool) bool {
+	if visiting[fragID] {
+		return false
+	}
+	visiting[fragID] = true
+	defer delete(visiting, fragID)
+
+	f := c.plan.Fragments[fragID]
+	if f.IsRoot {
+		return false // perturbed order reached the root unwashed
+	}
+	ref := c.consumer[f.ExchangeID]
+	if ref == nil {
+		return false
+	}
+	state, ok := washState(ref.frag, ref.recv)
+	switch {
+	case !ok:
+		return false
+	case state == washClean:
+		return ref.frag.IsRoot
+	case ref.frag.IsRoot:
+		return false
+	default:
+		// Order (or partial-aggregate multiset) perturbation continues
+		// into the next fragment; recurse through its exchange.
+		return c.orderWashed(ref.frag.ID, visiting)
+	}
+}
+
+type wash uint8
+
+const (
+	washPerturbed wash = iota // row order (or partial multisets) still depend on arrival order
+	washClean                 // a total-order sort fixed the final order
+)
+
+// washState walks a consumer fragment from the perturbed receiver to the
+// fragment root, tracking whether the perturbation is washed out. ok is
+// false when an operator that bakes arrival order (or arrival grouping)
+// into its output values is encountered before a wash.
+func washState(f *fragment.Fragment, rv *physical.Receiver) (wash, bool) {
+	path, ok := pathToRoot(f.Root, rv)
+	if !ok {
+		return washPerturbed, false
+	}
+	state := washPerturbed
+	var lastGroup []int // reduction group columns awaiting a covering sort
+	for _, n := range path {
+		switch t := n.(type) {
+		case *physical.Receiver:
+			// the starting point
+		case *physical.Filter, *physical.Project, *physical.Sender:
+			// Row-local and order-preserving: perturbation (or cleanliness)
+			// carries through unchanged.
+		case *physical.HashAggregate:
+			if !aggsOrderInsensitive(t.Aggs) {
+				return state, false
+			}
+			if t.IsReduction() {
+				lastGroup = outputGroupCols(t.GroupBy)
+			}
+			state = washPerturbed // group emission order is first-seen
+		case *physical.SortAggregate:
+			if !aggsOrderInsensitive(t.Aggs) {
+				return state, false
+			}
+			if t.IsReduction() {
+				lastGroup = outputGroupCols(t.GroupBy)
+			}
+			state = washPerturbed
+		case *physical.Sort:
+			if lastGroup != nil && sortCovers(t.Keys, lastGroup) {
+				state = washClean
+			}
+		case *physical.Limit:
+			if state != washClean {
+				// LIMIT over a perturbed order selects different rows.
+				return state, false
+			}
+		case *physical.Join:
+			// A join's output order interleaves probe arrival order; the
+			// perturbation survives but values do not change (equi matching
+			// is order-free). Treat like a row-local operator.
+			if state == washClean {
+				state = washPerturbed
+			}
+			_ = t
+		default:
+			return state, false
+		}
+	}
+	return state, true
+}
+
+// pathToRoot returns the operator chain from rv up to (and including) the
+// fragment root, or ok=false when rv is not in the fragment.
+func pathToRoot(root physical.Node, rv *physical.Receiver) ([]physical.Node, bool) {
+	if root == rv {
+		return []physical.Node{root}, true
+	}
+	for _, in := range root.Inputs() {
+		if sub, ok := pathToRoot(in, rv); ok {
+			return append(sub, root), true
+		}
+	}
+	return nil, false
+}
+
+// aggsOrderInsensitive reports whether every aggregate call produces
+// bit-identical results under any input permutation and regrouping of
+// partials: COUNT always, MIN/MAX always (same-kind comparisons pick a
+// canonical value), SUM only over integer inputs (float addition is not
+// associative). AVG and DISTINCT aggregates are excluded.
+func aggsOrderInsensitive(aggs []expr.AggCall) bool {
+	for _, a := range aggs {
+		if a.Distinct {
+			return false
+		}
+		switch a.Func {
+		case expr.AggCount, expr.AggMin, expr.AggMax:
+		case expr.AggSum:
+			if a.Kind() != types.KindInt {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// outputGroupCols are the group columns' output positions (aggregation
+// emits group columns first).
+func outputGroupCols(groupBy []int) []int {
+	cols := make([]int, len(groupBy))
+	for i := range groupBy {
+		cols[i] = i
+	}
+	return cols
+}
+
+// sortCovers reports whether the sort keys include every group column.
+func sortCovers(keys []types.SortKey, group []int) bool {
+	have := make(map[int]bool, len(keys))
+	for _, k := range keys {
+		have[k.Col] = true
+	}
+	for _, g := range group {
+		if !have[g] {
+			return false
+		}
+	}
+	return true
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

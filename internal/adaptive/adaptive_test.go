@@ -1,0 +1,317 @@
+package adaptive
+
+import (
+	"strings"
+	"testing"
+
+	"gignite/internal/expr"
+	"gignite/internal/fragment"
+	"gignite/internal/logical"
+	"gignite/internal/physical"
+	"gignite/internal/sketch"
+	"gignite/internal/types"
+)
+
+var kv = types.Fields{{Name: "k", Kind: types.KindInt}, {Name: "v", Kind: types.KindInt}}
+
+func leaf(est float64, dist physical.Distribution) *physical.Values {
+	v := physical.NewValues(kv, nil)
+	v.Props().EstRows = est
+	v.Props().Dist = dist
+	return v
+}
+
+func filled(rows int) *sketch.Sketch {
+	sk := sketch.New()
+	for i := 0; i < rows; i++ {
+		sk.Add(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+	return sk
+}
+
+// flipPlan builds the minimal three-fragment shape the dist-flip targets:
+//
+//	frag 2 (wave 0): Sender #1 hash[0] over a leaf
+//	frag 1 (wave 1): Sender #0 broadcast over Receiver #1   <- flip candidate
+//	frag 0 (wave 2): Join[hash] bcast-right, probe side partitioned on its key
+//
+// estBuild is the planner's estimate of the build side (what Receiver #1
+// and Sender #0 inherit).
+func flipPlan(t *testing.T, estBuild float64) (*fragment.Plan, *physical.Sender, *physical.Join) {
+	t.Helper()
+	src := leaf(estBuild, physical.HashDist(0))
+	sender1 := physical.NewSender(src, 1, physical.HashDist(0))
+	ex1 := physical.NewExchange(src, physical.HashDist(0))
+	recv1 := physical.NewReceiver(ex1, 1)
+	recv1.Props().EstRows = estBuild
+
+	sender0 := physical.NewSender(recv1, 0, physical.BroadcastDist)
+	ex0 := physical.NewExchange(recv1, physical.BroadcastDist)
+	recv0 := physical.NewReceiver(ex0, 0)
+	recv0.Props().EstRows = estBuild
+
+	probe := leaf(1000, physical.HashDist(0))
+	join := physical.NewJoin(probe, recv0, physical.HashAlgo, logical.JoinInner, nil,
+		[]expr.EquiKey{{Left: 0, Right: 0}}, physical.HashDist(0), "bcast-right")
+
+	f0 := &fragment.Fragment{ID: 0, Root: join, IsRoot: true, Receivers: []int{0}, ExchangeID: -1}
+	f1 := &fragment.Fragment{ID: 1, Root: sender0, Receivers: []int{1}, ExchangeID: 0}
+	f2 := &fragment.Fragment{ID: 2, Root: sender1, ExchangeID: 1}
+	plan := &fragment.Plan{
+		Fragments: []*fragment.Fragment{f0, f1, f2},
+		Producer:  map[int]*fragment.Fragment{0: f1, 1: f2},
+	}
+	return plan, sender0, join
+}
+
+func TestDistFlipFires(t *testing.T) {
+	plan, sender, join := flipPlan(t, 50)
+	c, err := New(plan, Config{Sites: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The join keys must have mapped down to sketch keys on exchange 0.
+	if got := c.SketchKeys()[0]; !intsEqual(got, []int{0}) {
+		t.Fatalf("skeys[0] = %v, want [0]", got)
+	}
+	// Wave 0 completes with 5000 rows where the planner expected 50.
+	reps := c.OnBarrier(0, map[int]*sketch.Sketch{1: filled(5000)})
+	if len(reps) != 1 {
+		t.Fatalf("got %d replans, want 1: %+v", len(reps), reps)
+	}
+	rp := reps[0]
+	if rp.Kind != "dist-flip" || rp.Frag != 1 || rp.Wave != 0 {
+		t.Fatalf("unexpected replan: %+v", rp)
+	}
+	if sender.Target.Type != physical.Hash || !intsEqual(sender.Target.Keys, []int{0}) {
+		t.Fatalf("sender target = %s, want hash[0]", sender.Target)
+	}
+	if join.Mapping != "hash" {
+		t.Fatalf("join mapping = %q, want hash", join.Mapping)
+	}
+	if n := c.Notes()[sender]; !strings.Contains(n, "dist-flip") {
+		t.Fatalf("sender note = %q, want dist-flip annotation", n)
+	}
+	// A later barrier must not rewrite the same sender again.
+	if again := c.OnBarrier(1, map[int]*sketch.Sketch{1: filled(5000)}); len(again) != 0 {
+		t.Fatalf("second barrier re-fired: %+v", again)
+	}
+	if len(c.Replans()) != 1 {
+		t.Fatalf("replan log grew to %d entries", len(c.Replans()))
+	}
+}
+
+func TestDistFlipGuardHoldsSmallBuild(t *testing.T) {
+	// 300 actual rows diverge from the estimate of 50, but partitioning
+	// saves 300*(sites-1)=900 shipped rows, under the hysteresis-scaled
+	// shuffle price 1.3*200*4=1040: the broadcast must be retained.
+	plan, sender, _ := flipPlan(t, 50)
+	c, err := New(plan, Config{Sites: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps := c.OnBarrier(0, map[int]*sketch.Sketch{1: filled(300)}); len(reps) != 0 {
+		t.Fatalf("guard did not hold: %+v", reps)
+	}
+	if sender.Target.Type != physical.Broadcast {
+		t.Fatalf("sender target mutated to %s", sender.Target)
+	}
+}
+
+func TestDistFlipNeedsDivergence(t *testing.T) {
+	// The actuals match the estimate, so however profitable the flip
+	// would be, the controller must not second-guess the planner.
+	plan, sender, _ := flipPlan(t, 5000)
+	c, err := New(plan, Config{Sites: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps := c.OnBarrier(0, map[int]*sketch.Sketch{1: filled(5000)}); len(reps) != 0 {
+		t.Fatalf("replanned without new information: %+v", reps)
+	}
+	if sender.Target.Type != physical.Broadcast {
+		t.Fatalf("sender target mutated to %s", sender.Target)
+	}
+}
+
+func TestDistFlipNeedsColocatedProbe(t *testing.T) {
+	// Probe side partitioned on a different column: hash routing would
+	// send build rows away from their probe rows, so the flip is invalid.
+	// 1500 actual rows clear the flip's divergence and profit guards but
+	// stay above half the probe side, so no build-swap muddies the check.
+	plan, sender, join := flipPlan(t, 50)
+	join.Inputs()[0].Props().Dist = physical.HashDist(1)
+	c, err := New(plan, Config{Sites: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps := c.OnBarrier(0, map[int]*sketch.Sketch{1: filled(1500)}); len(reps) != 0 {
+		t.Fatalf("flip fired without co-location proof: %+v", reps)
+	}
+	if sender.Target.Type != physical.Broadcast {
+		t.Fatalf("sender target mutated to %s", sender.Target)
+	}
+}
+
+// swapPlan builds a root join over two hash exchanges, estimated
+// left-heavy (estL > estR) so the planner builds on the right.
+func swapPlan(t *testing.T, estL, estR float64) (*fragment.Plan, *physical.Join) {
+	t.Helper()
+	mk := func(ex int, est float64) (*fragment.Fragment, *physical.Receiver) {
+		src := leaf(est, physical.HashDist(0))
+		sender := physical.NewSender(src, ex, physical.HashDist(0))
+		recv := physical.NewReceiver(physical.NewExchange(src, physical.HashDist(0)), ex)
+		recv.Props().EstRows = est
+		return &fragment.Fragment{ID: ex, Root: sender, ExchangeID: ex}, recv
+	}
+	f1, recv1 := mk(1, estL)
+	f2, recv2 := mk(2, estR)
+	join := physical.NewJoin(recv1, recv2, physical.HashAlgo, logical.JoinInner, nil,
+		[]expr.EquiKey{{Left: 0, Right: 0}}, physical.HashDist(0), "hash")
+	f0 := &fragment.Fragment{ID: 0, Root: join, IsRoot: true, Receivers: []int{1, 2}, ExchangeID: -1}
+	plan := &fragment.Plan{
+		Fragments: []*fragment.Fragment{f0, f1, f2},
+		Producer:  map[int]*fragment.Fragment{1: f1, 2: f2},
+	}
+	return plan, join
+}
+
+func TestBuildSwapFires(t *testing.T) {
+	plan, join := swapPlan(t, 1000, 100)
+	c, err := New(plan, Config{Sites: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Runtime inverts the estimate: the left is 50x smaller than the right.
+	reps := c.OnBarrier(0, map[int]*sketch.Sketch{1: filled(100), 2: filled(5000)})
+	if len(reps) != 1 || reps[0].Kind != "build-swap" {
+		t.Fatalf("got %+v, want one build-swap", reps)
+	}
+	if !join.BuildLeft {
+		t.Fatal("join.BuildLeft not set")
+	}
+	// Idempotent across barriers.
+	if again := c.OnBarrier(1, map[int]*sketch.Sketch{1: filled(100), 2: filled(5000)}); len(again) != 0 {
+		t.Fatalf("swap re-fired: %+v", again)
+	}
+}
+
+func TestBuildSwapMarginHolds(t *testing.T) {
+	// Sides diverge from their estimates but the left is not
+	// SwapMargin-times smaller than the right: keep the planned build side.
+	plan, join := swapPlan(t, 1000, 100)
+	c, err := New(plan, Config{Sites: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps := c.OnBarrier(0, map[int]*sketch.Sketch{1: filled(3000), 2: filled(5000)}); len(reps) != 0 {
+		t.Fatalf("swap fired inside the margin: %+v", reps)
+	}
+	if join.BuildLeft {
+		t.Fatal("join.BuildLeft set inside the margin")
+	}
+}
+
+func TestBuildSwapNeedsDivergence(t *testing.T) {
+	// Estimates already said left < right; the planner chose build=right
+	// knowingly, so runtime confirmation must not flip it.
+	plan, join := swapPlan(t, 100, 1000)
+	c, err := New(plan, Config{Sites: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps := c.OnBarrier(0, map[int]*sketch.Sketch{1: filled(100), 2: filled(1000)}); len(reps) != 0 {
+		t.Fatalf("swap fired without misestimation: %+v", reps)
+	}
+	if join.BuildLeft {
+		t.Fatal("join.BuildLeft set without misestimation")
+	}
+}
+
+func TestCorrectedEngine(t *testing.T) {
+	plan, sender, join := flipPlan(t, 50)
+	c, err := New(plan, Config{Sites: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any barrier, corrections are pure estimates.
+	if got := c.corrected(sender.Inputs()[0]); got != 50 {
+		t.Fatalf("corrected(recv1) = %g before barrier, want 50", got)
+	}
+	c.OnBarrier(0, map[int]*sketch.Sketch{1: filled(5000)})
+	// Completed exchange: exact actual, reached through the pending
+	// exchange 0 (receiver -> producer sender -> its receiver child).
+	if got := c.corrected(sender.Inputs()[0]); got != 5000 {
+		t.Fatalf("corrected(recv1) = %g, want exact 5000", got)
+	}
+	if got := c.corrected(join.Inputs()[1]); got != 5000 {
+		t.Fatalf("corrected through pending exchange = %g, want 5000", got)
+	}
+	// Swami-Schiefer join: l*r/max(ndvL, ndvR) with the unique-key
+	// fallback = side rows, so 1000*5000/5000.
+	if got := c.corrected(join); got != 1000 {
+		t.Fatalf("corrected(join) = %g, want 1000", got)
+	}
+}
+
+func TestDiverged(t *testing.T) {
+	c := &Controller{cfg: Config{}.withDefaults()}
+	for _, tc := range []struct {
+		est, act float64
+		want     bool
+	}{
+		{10, 10, false},
+		{10, 13, false},   // 14/11 = 1.27 < 1.5
+		{10, 16, true},    // 17/11 = 1.55
+		{16, 10, true},    // symmetric
+		{0, 0, false},     // +1 smoothing keeps empty inputs quiet
+		{1000, 10, true},
+	} {
+		if got := c.diverged(tc.est, tc.act); got != tc.want {
+			t.Errorf("diverged(%g, %g) = %t, want %t", tc.est, tc.act, got, tc.want)
+		}
+	}
+}
+
+func TestAggsOrderInsensitive(t *testing.T) {
+	intCol := expr.NewColRef(0, types.KindInt, "k")
+	floatCol := expr.NewColRef(1, types.KindFloat, "f")
+	for _, tc := range []struct {
+		name string
+		aggs []expr.AggCall
+		want bool
+	}{
+		{"count", []expr.AggCall{{Func: expr.AggCount}}, true},
+		{"min-max", []expr.AggCall{{Func: expr.AggMin, Arg: intCol}, {Func: expr.AggMax, Arg: floatCol}}, true},
+		{"int-sum", []expr.AggCall{{Func: expr.AggSum, Arg: intCol}}, true},
+		{"float-sum", []expr.AggCall{{Func: expr.AggSum, Arg: floatCol}}, false},
+		{"avg", []expr.AggCall{{Func: expr.AggAvg, Arg: intCol}}, false},
+		{"distinct-count", []expr.AggCall{{Func: expr.AggCount, Arg: intCol, Distinct: true}}, false},
+	} {
+		if got := aggsOrderInsensitive(tc.aggs); got != tc.want {
+			t.Errorf("%s: aggsOrderInsensitive = %t, want %t", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSortCovers(t *testing.T) {
+	keys := []types.SortKey{{Col: 1, Desc: true}, {Col: 0}}
+	if !sortCovers(keys, []int{0, 1}) {
+		t.Error("sort on {1,0} should cover group {0,1}")
+	}
+	if sortCovers([]types.SortKey{{Col: 1}}, []int{0, 1}) {
+		t.Error("sort on {1} should not cover group {0,1}")
+	}
+	if !sortCovers(nil, nil) {
+		t.Error("empty group is covered vacuously")
+	}
+}
+
+func TestIntsEqual(t *testing.T) {
+	if !intsEqual([]int{1, 2}, []int{1, 2}) || intsEqual([]int{1}, []int{2}) || intsEqual([]int{1}, []int{1, 2}) {
+		t.Error("intsEqual misbehaves")
+	}
+	if !intsEqual(nil, nil) || intsEqual(nil, []int{0}) {
+		t.Error("intsEqual nil handling misbehaves")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gignite/internal/adaptive"
 	"gignite/internal/cost"
 	"gignite/internal/exec"
 	"gignite/internal/faults"
@@ -45,6 +46,7 @@ import (
 	"gignite/internal/obs"
 	"gignite/internal/physical"
 	"gignite/internal/simnet"
+	"gignite/internal/sketch"
 	"gignite/internal/storage"
 	"gignite/internal/types"
 )
@@ -125,6 +127,13 @@ type Result struct {
 	// statistics per fragment, and one trace span per fragment-instance
 	// attempt, in deterministic job order.
 	Obs *obs.QueryObs
+	// Replans counts the adaptive re-planning passes run at wave
+	// barriers; Switches the plan rewrites they applied (DESIGN.md §17).
+	Replans  int
+	Switches int
+	// Notes carries the adaptive controller's per-node rewrite
+	// annotations for EXPLAIN ANALYZE (nil when adaptive is off).
+	Notes map[physical.Node]string
 }
 
 // ErrWorkLimit re-exports the executor's work-limit error for callers.
@@ -159,6 +168,12 @@ type Opts struct {
 	// next live replica of its partition; the modeled-faster attempt's
 	// outputs are kept and the loser's are discarded.
 	HedgeAfter float64
+	// Adaptive, when non-nil, enables mid-query re-optimization
+	// (DESIGN.md §17): exchange senders build runtime sketches, and at
+	// every wave barrier the controller may rewrite the not-yet-deployed
+	// fragments. The controller must have been built from this exact
+	// plan.
+	Adaptive *adaptive.Controller
 }
 
 // runEnv bundles the per-execution state the wave scheduler threads
@@ -171,6 +186,8 @@ type runEnv struct {
 	fs         *filterState
 	mem        *governor.Lease
 	hedgeAfter float64
+	// sketchKeys enables per-exchange sender sketches (nil: adaptive off).
+	sketchKeys map[int][]int
 }
 
 // instanceJob is one schedulable (fragment × site × variant) instance.
@@ -224,7 +241,10 @@ type instanceResult struct {
 	// hedge records the instance's speculative straggler attempt, if one
 	// was launched (win or lose).
 	hedge *simnet.Hedge
-	err   error
+	// sketches are the winning attempt's exchange sketches (nil when
+	// adaptive execution is off or the instance shipped nothing).
+	sketches map[int]*sketch.Sketch
+	err      error
 }
 
 // siteState is a site's condition from the perspective of one instance
@@ -334,16 +354,46 @@ func (c *Cluster) Run(ctx context.Context, plan *fragment.Plan, opts Opts) (*Res
 		}
 	}
 
-	// Build every wave's jobs up front, assigning deterministic instance
-	// ordinals in wave order: fault plans and failure reports address
-	// instances by ordinal, never by arrival order, so outcomes are
-	// identical at every worker count.
-	waveJobs := make([][]instanceJob, len(waves))
-	for w, wave := range waves {
-		for _, f := range wave {
+	// dying[site] is the ordinal of the one instance that is in flight at
+	// that site when the fault plan crashes it: the smallest primary
+	// ordinal at the site at or past the crash point. That instance runs
+	// and loses its work; every later ordinal finds the site dead.
+	// markDying is fed every job batch in creation order — and jobs are
+	// created in strictly increasing ordinal order — so the incremental
+	// computation finds the same minimum the old whole-schedule scan did.
+	dying := make(map[int]int)
+	markDying := func(jobs []instanceJob) {
+		if c.Faults == nil {
+			return
+		}
+		for _, j := range jobs {
+			if n, ok := c.Faults.CrashPoint(j.site); ok && j.ordinal >= n {
+				if _, seen := dying[j.site]; !seen {
+					dying[j.site] = j.ordinal
+				}
+			}
+		}
+	}
+	markDying(preJobs)
+
+	// buildWave materializes one wave's jobs, assigning deterministic
+	// instance ordinals in wave order: fault plans and failure reports
+	// address instances by ordinal, never by arrival order, so outcomes
+	// are identical at every worker count. Building lazily — after the
+	// previous wave's barrier — lets the adaptive controller's barrier
+	// rewrites (variant re-grades) take effect on the jobs themselves.
+	// An instance of wave w only ever consults the liveness of ordinals
+	// ≤ its own, so later waves' dying entries need not exist yet.
+	buildWave := func(w int) []instanceJob {
+		var jobs []instanceJob
+		for _, f := range waves[w] {
 			trace.Order = append(trace.Order, f.ID)
 			sites, partitioned := c.fragmentSites(f)
-			vs := fragment.BuildVariants(f, variants)
+			nv := variants
+			if opts.Adaptive != nil {
+				nv = opts.Adaptive.VariantFor(f.ID, variants)
+			}
+			vs := fragment.BuildVariants(f, nv)
 			n := 1
 			var modes map[physical.Node]fragment.SourceMode
 			if vs != nil {
@@ -352,7 +402,7 @@ func (c *Cluster) Run(ctx context.Context, plan *fragment.Plan, opts Opts) (*Res
 			}
 			for _, site := range sites {
 				for v := 0; v < n; v++ {
-					waveJobs[w] = append(waveJobs[w], instanceJob{
+					jobs = append(jobs, instanceJob{
 						frag: f, site: site, variant: v, nVariants: n, modes: modes,
 						ordinal: ordinal, wave: w, partitioned: partitioned,
 						fobs: qobs.Fragments[f.ID],
@@ -361,29 +411,8 @@ func (c *Cluster) Run(ctx context.Context, plan *fragment.Plan, opts Opts) (*Res
 				}
 			}
 		}
-	}
-	// dying[site] is the ordinal of the one instance that is in flight at
-	// that site when the fault plan crashes it: the smallest primary
-	// ordinal at the site at or past the crash point. That instance runs
-	// and loses its work; every later ordinal finds the site dead.
-	dying := make(map[int]int)
-	if c.Faults != nil {
-		for _, j := range preJobs {
-			if n, ok := c.Faults.CrashPoint(j.site); ok && j.ordinal >= n {
-				if _, seen := dying[j.site]; !seen {
-					dying[j.site] = j.ordinal
-				}
-			}
-		}
-		for _, jobs := range waveJobs {
-			for _, j := range jobs {
-				if n, ok := c.Faults.CrashPoint(j.site); ok && j.ordinal >= n {
-					if _, seen := dying[j.site]; !seen {
-						dying[j.site] = j.ordinal
-					}
-				}
-			}
-		}
+		markDying(jobs)
+		return jobs
 	}
 
 	var (
@@ -397,6 +426,9 @@ func (c *Cluster) Run(ctx context.Context, plan *fragment.Plan, opts Opts) (*Res
 	env := &runEnv{
 		transport: transport, workLimit: opts.WorkLimit, dying: dying,
 		began: began, fs: fstate, mem: opts.Mem, hedgeAfter: opts.HedgeAfter,
+	}
+	if opts.Adaptive != nil {
+		env.sketchKeys = opts.Adaptive.SketchKeys()
 	}
 
 	// Execute the filter pre-pass and freeze the filters at its barrier.
@@ -479,7 +511,19 @@ func (c *Cluster) Run(ctx context.Context, plan *fragment.Plan, opts Opts) (*Res
 		}
 	}
 
-	for _, jobs := range waveJobs {
+	// exSketches accumulates the per-exchange runtime sketches across
+	// barriers; replans/switches count the adaptive passes and the
+	// rewrites they applied.
+	var (
+		exSketches map[int]*sketch.Sketch
+		replans    int
+		switches   int
+	)
+	if opts.Adaptive != nil {
+		exSketches = make(map[int]*sketch.Sketch)
+	}
+	for w := range waves {
+		jobs := buildWave(w)
 		if len(jobs) == 0 {
 			continue
 		}
@@ -538,6 +582,23 @@ func (c *Cluster) Run(ctx context.Context, plan *fragment.Plan, opts Opts) (*Res
 			if fstate != nil {
 				fstate.count(r.ftested, r.fpruned)
 			}
+			if exSketches != nil && r.sketches != nil {
+				// Merge in deterministic job order (each fragment has one
+				// sender, so a result carries at most one exchange; sorting
+				// keeps the merge canonical regardless).
+				exIDs := make([]int, 0, len(r.sketches))
+				for ex := range r.sketches {
+					exIDs = append(exIDs, ex)
+				}
+				sort.Ints(exIDs)
+				for _, ex := range exIDs {
+					if cur := exSketches[ex]; cur != nil {
+						cur.Merge(r.sketches[ex])
+					} else {
+						exSketches[ex] = r.sketches[ex]
+					}
+				}
+			}
 			if j.frag.IsRoot {
 				resultRows = r.rows
 				resultFields = j.frag.Root.Schema()
@@ -545,6 +606,25 @@ func (c *Cluster) Run(ctx context.Context, plan *fragment.Plan, opts Opts) (*Res
 		}
 		if len(waveErrs) > 0 {
 			return nil, errors.Join(waveErrs...)
+		}
+
+		// Adaptive barrier (DESIGN.md §17): with later waves still pending,
+		// hand the accumulated sketches to the controller, which may rewrite
+		// the not-yet-built part of the schedule. The pass is recorded as a
+		// replan span so static runs keep the spans == instances + retries +
+		// hedges invariant untouched.
+		if opts.Adaptive != nil && w+1 < len(waves) {
+			passStart := time.Now()
+			applied := opts.Adaptive.OnBarrier(w, exSketches)
+			replans++
+			switches += len(applied)
+			qobs.Replans = append(qobs.Replans, applied...)
+			qobs.Spans = append(qobs.Spans, obs.Span{
+				Frag: -1, Site: -1, Host: -1, Wave: w,
+				StartNanos: passStart.Sub(began).Nanoseconds(),
+				EndNanos:   time.Since(began).Nanoseconds(),
+				Status:     obs.SpanReplan,
+			})
 		}
 	}
 
@@ -581,6 +661,11 @@ func (c *Cluster) Run(ctx context.Context, plan *fragment.Plan, opts Opts) (*Res
 		HedgesWon:    hedgesWon,
 		Workers:      workers,
 		Obs:          qobs,
+		Replans:      replans,
+		Switches:     switches,
+	}
+	if opts.Adaptive != nil {
+		res.Notes = opts.Adaptive.Notes()
 	}
 	if fstate != nil {
 		for _, bf := range fstate.built {
@@ -861,6 +946,7 @@ func (c *Cluster) runInstance(ctx context.Context, j instanceJob, r *instanceRes
 			r.work = ectx.CPUWork * c.Faults.Slowdown(host)
 			r.obs = ectx.Obs
 			r.ftested, r.fpruned = ectx.FilterTested, ectx.FilterPruned
+			r.sketches = ectx.Sketches
 			span(host, attempt, attemptStart, obs.SpanOK, nil)
 			return
 		}
@@ -914,6 +1000,7 @@ func (c *Cluster) instanceContext(ctx context.Context, j instanceJob, host, atte
 		Obs:          obs.NewInstanceObs(j.fobs),
 		Mem:          env.mem,
 		SiteMemBytes: c.Faults.MemLimit(host),
+		SketchKeys:   env.sketchKeys,
 	}
 }
 
@@ -1042,6 +1129,7 @@ func (c *Cluster) runHedge(ctx context.Context, j instanceJob, r *instanceResult
 		hedge.LostBytes = bytes
 		r.rows, r.host, r.work, r.obs = rows, host, hedgeWork, ectx.Obs
 		r.ftested, r.fpruned = ectx.FilterTested, ectx.FilterPruned
+		r.sketches = ectx.Sketches
 	default:
 		// The primary wins (ties included: the lowest attempt ordinal is
 		// canonical). The hedge ran from threshold until the primary's

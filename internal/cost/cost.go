@@ -184,12 +184,17 @@ func (p Params) MergeJoin(left, right, dfL, dfR float64) Cost {
 // HashJoin returns the cost of the in-memory hash join of §5.1.2
 // (Equation 7): the build side is the right relation; the distribution
 // factor applies to the right side only, rewarding plans that build the
-// hash table on a local partition.
+// hash table on a local partition. The per-row hash charge splits
+// asymmetrically: a probe row only computes the hash and looks up
+// (HAC/2), while a build row also pays the insert's allocation
+// (3·HAC/2). The average per pair-row matches the symmetric Equation 7
+// charge, and the asymmetry is what the adaptive build-swap rewrite
+// (DESIGN.md §17) exploits when observed sizes invert the estimate.
 func (p Params) HashJoin(left, right, rightWidth, dfRight float64) Cost {
 	dfRight = p.effectiveDF(dfRight)
 	r := right / dfRight
 	return Cost{
-		CPU:    (left + r) * (RCC + RPTC + HAC),
+		CPU:    left*(RCC+RPTC+HAC/2) + r*(RCC+RPTC+1.5*HAC),
 		Memory: p.memNet(r, rightWidth),
 	}
 }

@@ -1,0 +1,134 @@
+// Package engineflags is the shared option registry behind the gignite
+// command-line tools (cmd/gignite, cmd/gignited, cmd/benchrunner).
+//
+// Every engine knob a CLI exposes is declared exactly once here — name,
+// usage string and resolution into functional options — so the three
+// binaries stay flag-compatible by construction: "-plancache 64" or
+// "-adaptive" mean the same thing to the interactive shell, the network
+// daemon and the benchmark runner. Commands bind the registry into their
+// own flag.FlagSet (per-command defaults go through Defaults), add their
+// command-specific flags (addresses, scale-factor lists, ...), and
+// resolve the bound values with Values.Options.
+package engineflags
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"gignite"
+)
+
+// Values holds the bound values of the shared engine flags after flag
+// parsing.
+type Values struct {
+	// System selects the paper's system variant: ic, ic+ or ic+m.
+	System string
+	// Backups is the per-partition backup replica count.
+	Backups int
+	// Parallelism is the host execution parallelism (0 = GOMAXPROCS).
+	Parallelism int
+	// Faults is the deterministic fault-plan spec ("" = none).
+	Faults string
+	// Filters toggles runtime join-filter pushdown.
+	Filters bool
+	// Admission bounds concurrent queries (0 = unbounded).
+	Admission int
+	// MaxMem is the engine memory budget in bytes (0 = no pool).
+	MaxMem int64
+	// QueryMem is the per-query memory cap in bytes (0 = unlimited).
+	QueryMem int64
+	// Hedge is the straggler-hedging threshold (0 = off).
+	Hedge float64
+	// PlanCache is the plan-cache capacity in plans (0 = off).
+	PlanCache int
+	// Adaptive toggles mid-query re-optimization from runtime sketches.
+	Adaptive bool
+	// Misestimate multiplies the planner's join estimates (0 or 1 =
+	// accurate stats).
+	Misestimate float64
+}
+
+// Defaults carries the per-command default values of the shared flags.
+// The zero value means: system ic+, everything else off.
+type Defaults struct {
+	System    string
+	Filters   bool
+	Admission int
+	Hedge     float64
+	PlanCache int
+}
+
+// Bind registers the shared engine flags on fs and returns the value
+// struct they parse into.
+func Bind(fs *flag.FlagSet, d Defaults) *Values {
+	if d.System == "" {
+		d.System = "ic+"
+	}
+	v := &Values{}
+	fs.StringVar(&v.System, "system", d.System, "system variant: ic, ic+ or ic+m")
+	fs.IntVar(&v.Backups, "backups", 0, "backup replicas per partition (0 = none)")
+	fs.IntVar(&v.Parallelism, "par", 0, "host execution parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	fs.StringVar(&v.Faults, "faults", "", `deterministic fault plan, e.g. "seed=1;crash=2@5;slow=1x4;sendfail=0.01"`)
+	fs.BoolVar(&v.Filters, "filters", d.Filters, "enable runtime join-filter pushdown (DESIGN.md §13)")
+	fs.IntVar(&v.Admission, "admission", d.Admission, "max concurrent queries (0 = unbounded)")
+	fs.Int64Var(&v.MaxMem, "maxmem", 0, "engine-wide memory budget in bytes (0 = no pool)")
+	fs.Int64Var(&v.QueryMem, "querymem", 0, "per-query memory cap in bytes (0 = unlimited)")
+	fs.Float64Var(&v.Hedge, "hedge", d.Hedge, "hedge stragglers past this multiple of the wave median (0 = off)")
+	fs.IntVar(&v.PlanCache, "plancache", d.PlanCache, "plan cache capacity in plans (0 = off)")
+	fs.BoolVar(&v.Adaptive, "adaptive", false, "enable adaptive mid-query re-optimization (DESIGN.md §17)")
+	fs.Float64Var(&v.Misestimate, "misestimate", 0, "multiply the planner's join estimates by this factor (stats fault injection)")
+	return v
+}
+
+// Preset resolves the -system flag to its Config constructor. Matching
+// is case-insensitive and accepts the spelled-out icplus/icplusm aliases.
+func (v *Values) Preset() (func(sites int) gignite.Config, error) {
+	switch strings.ToLower(v.System) {
+	case "ic":
+		return gignite.IC, nil
+	case "ic+", "icplus":
+		return gignite.ICPlus, nil
+	case "ic+m", "icplusm":
+		return gignite.ICPlusM, nil
+	}
+	return nil, fmt.Errorf("unknown -system %q (want ic, ic+ or ic+m)", v.System)
+}
+
+// Options resolves the bound values into functional options for a
+// cluster of the given size, preset first so command-specific options
+// appended after them still win.
+func (v *Values) Options(sites int) ([]gignite.Option, error) {
+	preset, err := v.Preset()
+	if err != nil {
+		return nil, err
+	}
+	fp, err := gignite.ParseFaults(v.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("-faults: %w", err)
+	}
+	opts := []gignite.Option{
+		gignite.WithPreset(preset, sites),
+		gignite.WithCluster(gignite.ClusterOptions{
+			Sites:       sites,
+			Backups:     v.Backups,
+			Parallelism: v.Parallelism,
+			Faults:      fp,
+		}),
+		gignite.WithGovernance(gignite.GovernanceOptions{
+			MaxConcurrentQueries: v.Admission,
+			MemoryBudgetBytes:    v.MaxMem,
+			QueryMemLimitBytes:   v.QueryMem,
+			HedgeAfter:           v.Hedge,
+		}),
+		gignite.WithPlanCache(v.PlanCache),
+		gignite.WithRuntimeFilters(v.Filters),
+	}
+	if v.Adaptive {
+		opts = append(opts, gignite.WithAdaptive(gignite.AdaptiveOptions{Misestimate: v.Misestimate}))
+	} else if v.Misestimate != 0 {
+		mis := v.Misestimate
+		opts = append(opts, func(c *gignite.Config) { c.StatsMisestimate = mis })
+	}
+	return opts, nil
+}

@@ -23,6 +23,7 @@ import (
 	"gignite/internal/joinfilter"
 	"gignite/internal/obs"
 	"gignite/internal/physical"
+	"gignite/internal/sketch"
 	"gignite/internal/storage"
 	"gignite/internal/types"
 )
@@ -283,6 +284,22 @@ type Context struct {
 	// query's FilterObs records (keyed by filter ID).
 	FilterTested map[int]int64
 	FilterPruned map[int]int64
+
+	// --- adaptive execution sketches (DESIGN.md §17) ---
+
+	// SketchKeys, when non-nil, maps exchange IDs whose senders build a
+	// runtime sketch over the rows they ship to the key columns the
+	// sketch hashes (nil value: the exchange target's distribution keys,
+	// or the whole row for non-hash targets). The adaptive controller
+	// picks the consuming join's equi keys so sketch distinct counts are
+	// directly usable for join re-estimation. Sketch maintenance rides
+	// the existing per-row send charge (no extra modeled work), so
+	// enabling sketches never changes the cost clock.
+	SketchKeys map[int][]int
+	// Sketches holds the sketches this attempt built, keyed by exchange
+	// ID. The scheduler collects them from the winning attempt only, so
+	// retries and hedge losers never double-count.
+	Sketches map[int]*sketch.Sketch
 }
 
 // AppliedFilter is one node-level runtime-filter application: rows whose
@@ -748,6 +765,7 @@ func sendRows(s *physical.Sender, rows []types.Row, ctx *Context) error {
 		sf = ctx.SendFilters[s.ExchangeID]
 	}
 	ctx.work(float64(len(rows)) * cost.RPTC)
+	ctx.sketchRows(s, rows)
 	switch s.Target.Type {
 	case physical.Single:
 		out := rows
@@ -812,6 +830,39 @@ func sendRows(s *physical.Sender, rows []types.Row, ctx *Context) error {
 		}
 	}
 	return nil
+}
+
+// sketchRows feeds a sender's output into the exchange's runtime sketch
+// when adaptive execution asked for one. The sketch summarizes the rows
+// the sender produced (pre-routing, pre-runtime-filter), keyed by the
+// columns the controller requested — falling back to the target's
+// distribution keys, then the whole row — so merged sketches estimate
+// the exchange's key cardinality and skew.
+func (c *Context) sketchRows(s *physical.Sender, rows []types.Row) {
+	if c.SketchKeys == nil {
+		return
+	}
+	keys, enabled := c.SketchKeys[s.ExchangeID]
+	if !enabled {
+		return
+	}
+	if c.Sketches == nil {
+		c.Sketches = make(map[int]*sketch.Sketch)
+	}
+	sk := c.Sketches[s.ExchangeID]
+	if sk == nil {
+		sk = sketch.New()
+		c.Sketches[s.ExchangeID] = sk
+	}
+	if len(keys) == 0 {
+		keys = s.Target.Keys
+	}
+	if len(keys) == 0 && len(rows) > 0 {
+		keys = allCols(len(rows[0]))
+	}
+	for _, r := range rows {
+		sk.Add(r.Hash(keys))
+	}
 }
 
 // filterToSite returns the rows passing one destination site's runtime

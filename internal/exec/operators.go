@@ -313,12 +313,21 @@ func padRight(l types.Row, rightW int) types.Row {
 }
 
 // runHashJoin implements §5.1.2: build on the right input, probe with the
-// left.
+// left. When the adaptive re-planner set BuildLeft, the table is built on
+// the left input instead (runHashJoinBuildLeft) — emission order is
+// identical, only the build-side memory charge moves.
 func runHashJoin(j *physical.Join, left, right []types.Row, ctx *Context) ([]types.Row, error) {
 	if len(j.Keys) == 0 {
 		return nil, fmt.Errorf("exec: hash join without equi keys")
 	}
-	ctx.work((float64(len(left)) + float64(len(right))) * (cost.RCC + cost.RPTC + cost.HAC))
+	if j.BuildLeft {
+		return runHashJoinBuildLeft(j, left, right, ctx)
+	}
+	// Asymmetric hash charge, mirroring cost.HashJoin: a probe row
+	// computes the hash and looks up (HAC/2), a build row also pays the
+	// insert's allocation (3·HAC/2).
+	ctx.work(float64(len(left))*(cost.RCC+cost.RPTC+cost.HAC/2) +
+		float64(len(right))*(cost.RCC+cost.RPTC+1.5*cost.HAC))
 	ctx.opstat(j).addBuild(int64(len(right)))
 	// The build table pins the whole right input for the probe's duration.
 	if err := ctx.ReserveMem(j, estRowBytes(right)); err != nil {
@@ -391,6 +400,107 @@ func runHashJoin(j *physical.Join, left, right []types.Row, ctx *Context) ([]typ
 			case logical.JoinAnti:
 				out = append(out, l)
 			}
+		}
+	}
+	if err := guard.flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runHashJoinBuildLeft is the swapped-build hash join (DESIGN.md §17):
+// the table is built on the left input and the right input streams past
+// it, recording per-left-row match lists; emission then walks the left
+// input in order. For every probe row the matching build rows appear in
+// right-input order — exactly the order the build-right variant emits —
+// so output rows are byte-identical to runHashJoin, which is what lets
+// the adaptive re-planner flip build sides mid-query without breaking
+// the determinism contract.
+func runHashJoinBuildLeft(j *physical.Join, left, right []types.Row, ctx *Context) ([]types.Row, error) {
+	// Mirror of runHashJoin's asymmetric charge: here the left input is
+	// the build side and pays the insert premium.
+	ctx.work(float64(len(left))*(cost.RCC+cost.RPTC+1.5*cost.HAC) +
+		float64(len(right))*(cost.RCC+cost.RPTC+cost.HAC/2))
+	ctx.opstat(j).addBuild(int64(len(left)))
+	// The build table now pins the left input instead of the right.
+	if err := ctx.ReserveMem(j, estRowBytes(left)); err != nil {
+		return nil, err
+	}
+	leftCols := make([]int, len(j.Keys))
+	rightCols := make([]int, len(j.Keys))
+	for i, k := range j.Keys {
+		leftCols[i] = k.Left
+		rightCols[i] = k.Right
+	}
+	table := make(map[uint64][]int, len(left))
+	for li, l := range left {
+		if li%4096 == 4095 {
+			if err := ctx.cancelled(); err != nil {
+				return nil, err
+			}
+		}
+		if rowHasNullKey(l, leftCols) {
+			continue
+		}
+		table[l.Hash(leftCols)] = append(table[l.Hash(leftCols)], li)
+	}
+	// matches[li] lists the right-row indices joining left row li, in
+	// right-input order (the probe scan visits right rows in order).
+	matches := make([][]int32, len(left))
+	for ri, r := range right {
+		if ri%4096 == 4095 {
+			if err := ctx.cancelled(); err != nil {
+				return nil, err
+			}
+		}
+		if rowHasNullKey(r, rightCols) {
+			continue
+		}
+		for _, li := range table[r.Hash(rightCols)] {
+			l := left[li]
+			if !types.EqualOn(l, leftCols, r, rightCols) {
+				continue
+			}
+			if !condTrue(j.Cond, l.Concat(r)) {
+				continue
+			}
+			matches[li] = append(matches[li], int32(ri))
+		}
+	}
+	rightW := 0
+	if len(right) > 0 {
+		rightW = len(right[0])
+	} else {
+		rightW = len(j.Inputs()[1].Schema())
+	}
+	out := make([]types.Row, 0, len(left))
+	guard := &emitGuard{ctx: ctx, node: j}
+	for li, l := range left {
+		if li%4096 == 4095 {
+			if err := ctx.cancelled(); err != nil {
+				return nil, err
+			}
+		}
+		if len(matches[li]) == 0 {
+			switch j.Type {
+			case logical.JoinLeft:
+				out = append(out, padRight(l, rightW))
+			case logical.JoinAnti:
+				out = append(out, l)
+			}
+			continue
+		}
+		switch j.Type {
+		case logical.JoinInner, logical.JoinLeft:
+			for _, ri := range matches[li] {
+				row := l.Concat(right[ri])
+				out = append(out, row)
+				if err := guard.addRow(row); err != nil {
+					return nil, err
+				}
+			}
+		case logical.JoinSemi:
+			out = append(out, l)
 		}
 	}
 	if err := guard.flush(); err != nil {

@@ -100,6 +100,12 @@ type Env struct {
 	// engine the Env opens; 0 disables caching. Part of the engine cache
 	// key, so cache-on and cache-off engines coexist in one Env.
 	PlanCache int
+	// Adaptive enables mid-query re-optimization (Config.AdaptiveExec)
+	// and Misestimate perturbs the planner's join estimates
+	// (Config.StatsMisestimate) for every engine the Env opens. Both are
+	// part of the engine cache key.
+	Adaptive    bool
+	Misestimate float64
 
 	mu      sync.Mutex
 	engines map[string]*gignite.Engine
@@ -110,7 +116,8 @@ func NewEnv() *Env { return &Env{engines: make(map[string]*gignite.Engine)} }
 
 // Engine returns (loading on first use) the engine for a combination.
 func (env *Env) Engine(w Workload, sys System, sites int, sf float64) (*gignite.Engine, error) {
-	key := fmt.Sprintf("%s/%s/%d/%g/filters=%t/plancache=%d", w, sys, sites, sf, env.Filters, env.PlanCache)
+	key := fmt.Sprintf("%s/%s/%d/%g/filters=%t/plancache=%d/adaptive=%t/mis=%g",
+		w, sys, sites, sf, env.Filters, env.PlanCache, env.Adaptive, env.Misestimate)
 	env.mu.Lock()
 	defer env.mu.Unlock()
 	if e, ok := env.engines[key]; ok {
@@ -123,7 +130,9 @@ func (env *Env) Engine(w Workload, sys System, sites int, sf float64) (*gignite.
 	cfg.QueryTimeout = env.Timeout
 	cfg.RuntimeFilters = env.Filters
 	cfg.PlanCacheSize = env.PlanCache
-	e := gignite.Open(cfg)
+	cfg.AdaptiveExec = env.Adaptive
+	cfg.StatsMisestimate = env.Misestimate
+	e := gignite.New(cfg)
 	var err error
 	if w == SSB {
 		err = ssb.Setup(e, sf)

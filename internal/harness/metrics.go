@@ -59,9 +59,13 @@ type QueryMetrics struct {
 	// PlanningSkipped is true when the run reused a cached plan (plan
 	// cache or prepared statement) and so did no optimization work;
 	// PlanNanos is the plan-acquisition wall time either way.
-	PlanningSkipped bool              `json:"planning_skipped,omitempty"`
-	PlanNanos       int64             `json:"plan_nanos,omitempty"`
-	Operators       []OperatorMetrics `json:"operators"`
+	PlanningSkipped bool  `json:"planning_skipped,omitempty"`
+	PlanNanos       int64 `json:"plan_nanos,omitempty"`
+	// Replans / Switches are the adaptive-execution counters (zero when
+	// Config.AdaptiveExec is off — DESIGN.md §17).
+	Replans   int               `json:"replans,omitempty"`
+	Switches  int               `json:"switches,omitempty"`
+	Operators []OperatorMetrics `json:"operators"`
 }
 
 // MetricsFile is the top-level -metrics JSON document (see MetricsSchema).
@@ -75,44 +79,36 @@ type MetricsFile struct {
 	Engine   obs.Snapshot   `json:"engine"`
 }
 
-// queryMetrics flattens one Result's observation record.
+// queryMetrics flattens one Result into the metrics-file schema. It is
+// a thin projection of the engine's unified QueryReport, so the harness
+// and any external consumer of Result.Report see the same numbers.
 func queryMetrics(label string, res *gignite.Result) QueryMetrics {
+	rep := res.Report()
 	qm := QueryMetrics{
-		Label:        label,
-		ModeledSecs:  res.Stats.Modeled.Seconds(),
-		Rows:         len(res.Rows),
-		Work:         res.Stats.Work,
-		Bytes:        res.Stats.BytesShipped,
-		Instances:    res.Stats.Instances,
-		Retries:      res.Stats.Retries,
-		Spans:        res.Stats.Spans,
-		FiltersBuilt:    res.Stats.FiltersBuilt,
-		FilterBytes:     res.Stats.FilterBytes,
-		RowsPruned:      res.Stats.RowsPruned,
-		PlanningSkipped: res.Stats.PlanningSkipped,
-		PlanNanos:       res.Stats.PlanNanos,
+		Label:           label,
+		PlanDigest:      rep.PlanDigest,
+		ModeledSecs:     rep.Stats.Modeled.Seconds(),
+		WallSecs:        rep.Wall.Seconds(),
+		Rows:            rep.RowCount,
+		Work:            rep.Stats.Work,
+		Bytes:           rep.Stats.BytesShipped,
+		Instances:       rep.Stats.Instances,
+		Retries:         rep.Stats.Retries,
+		Spans:           rep.Stats.Spans,
+		FiltersBuilt:    rep.Stats.FiltersBuilt,
+		FilterBytes:     rep.Stats.FilterBytes,
+		RowsPruned:      rep.Stats.RowsPruned,
+		PlanningSkipped: rep.Stats.PlanningSkipped,
+		PlanNanos:       rep.Stats.PlanNanos,
+		Replans:         rep.Stats.AdaptiveReplans,
+		Switches:        rep.Stats.AdaptiveSwitches,
 	}
-	q := res.Obs
-	if q == nil {
-		return qm
-	}
-	qm.PlanDigest = q.PlanDigest
-	qm.WallSecs = float64(q.WallNanos) / 1e9
-	for _, fo := range q.Fragments {
-		if fo == nil {
-			continue
-		}
-		for _, op := range fo.Ops {
-			qerr := (op.EstRows + 1) / (float64(op.RowsOut) + 1)
-			if inv := 1 / qerr; inv > qerr {
-				qerr = inv
-			}
-			qm.Operators = append(qm.Operators, OperatorMetrics{
-				Frag: fo.Frag, Op: op.Op,
-				EstRows: op.EstRows, ActRows: op.RowsOut,
-				QError: qerr, Work: op.Work,
-			})
-		}
+	for _, op := range rep.Operators {
+		qm.Operators = append(qm.Operators, OperatorMetrics{
+			Frag: op.Frag, Op: op.Op,
+			EstRows: op.EstRows, ActRows: op.ActRows,
+			QError: op.QError, Work: op.Work,
+		})
 	}
 	return qm
 }

@@ -145,6 +145,12 @@ const (
 	// speculative attempt the primary outran. Its shipments were rolled
 	// back (DESIGN.md §14).
 	SpanHedged SpanStatus = "hedged"
+	// SpanReplan: not an instance attempt — an adaptive re-planning pass
+	// at a wave barrier (DESIGN.md §17). Frag/Site/Host are -1; Wave is
+	// the completed wave; Ordinal counts the re-plan passes. Emitted only
+	// when AdaptiveExec is on, so static executions keep the invariant
+	// spans == instances + retries + hedges.
+	SpanReplan SpanStatus = "replan"
 )
 
 // Span is one fragment-instance attempt in the per-query distributed
@@ -212,6 +218,33 @@ type QueryObs struct {
 	// Filters holds one record per runtime join filter the query built
 	// (empty when Config.RuntimeFilters is off or no join was eligible).
 	Filters []FilterObs `json:"filters,omitempty"`
+	// Replans lists the adaptive plan changes applied at wave barriers,
+	// in barrier order (empty when AdaptiveExec is off or no trigger
+	// fired). Each re-planning pass also adds one SpanReplan span.
+	Replans []Replan `json:"replans,omitempty"`
+}
+
+// Replan is one adaptive plan change applied at a wave barrier
+// (DESIGN.md §17): a pending fragment's operator switched strategy based
+// on observed runtime statistics from completed fragments.
+type Replan struct {
+	// Wave is the completed wave whose barrier triggered the change.
+	Wave int `json:"wave"`
+	// Frag is the pending fragment whose plan changed.
+	Frag int `json:"frag"`
+	// Kind names the trigger: "dist-flip" (partitioned↔broadcast),
+	// "build-swap" (hash-join build side), "variant-regrade" (parallelism
+	// split).
+	Kind string `json:"kind"`
+	// Op describes the operator after the change.
+	Op string `json:"op"`
+	// From/To are the strategy labels before and after.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// EstRows is the planner's estimate and ActRows the runtime actual
+	// that fired the trigger (est-vs-act in EXPLAIN ANALYZE).
+	EstRows float64 `json:"est_rows"`
+	ActRows int64   `json:"act_rows"`
 }
 
 // FilterObs is the runtime record of one join filter: what was built in

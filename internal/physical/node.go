@@ -363,6 +363,12 @@ type Join struct {
 	// Mapping records which Table 2 / §5.1.1 distribution mapping produced
 	// this join (for EXPLAIN and tests).
 	Mapping string
+	// BuildLeft, when true, builds the hash table on the left input
+	// instead of the right (set by the adaptive re-planner when observed
+	// input sizes invert the planner's estimate, DESIGN.md §17). Output
+	// rows and their order are identical either way; only the build-side
+	// memory charge moves to the smaller input.
+	BuildLeft bool
 }
 
 // NewJoin builds a physical join; dist is the mapping's target
@@ -384,8 +390,12 @@ func NewJoin(left, right Node, algo JoinAlgo, jt logical.JoinType, cond expr.Exp
 }
 
 func (j *Join) Describe() string {
-	return fmt.Sprintf("Join[%s] %s on %s (dist=%s, mapping=%s)",
-		j.Algo, j.Type, j.Cond, j.props.Dist, j.Mapping)
+	build := ""
+	if j.BuildLeft {
+		build = ", build=left"
+	}
+	return fmt.Sprintf("Join[%s] %s on %s (dist=%s, mapping=%s%s)",
+		j.Algo, j.Type, j.Cond, j.props.Dist, j.Mapping, build)
 }
 
 // ---------------------------------------------------------------------------

@@ -48,7 +48,7 @@ func tpchEngine(t *testing.T, mut func(*gignite.Config)) *gignite.Engine {
 	if mut != nil {
 		mut(&cfg)
 	}
-	eng := gignite.Open(cfg)
+	eng := gignite.New(cfg)
 	if err := tpch.Setup(eng, 0.005); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,145 @@
+package sketch
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// hashOf simulates a key hash stream: a weak sequential "hash" the
+// sketch's internal finalizer must spread out.
+func hashOf(i int) uint64 { return uint64(i) * 0x9E3779B97F4A7C15 }
+
+func TestExactSmallStream(t *testing.T) {
+	s := New()
+	for i := 0; i < 100; i++ {
+		s.Add(hashOf(i % 10))
+	}
+	if s.Rows() != 100 {
+		t.Fatalf("rows = %d, want 100", s.Rows())
+	}
+	if ndv := s.NDV(); ndv != 10 {
+		t.Fatalf("NDV = %g, want exactly 10 (below-k streams are exact)", ndv)
+	}
+	hh := s.HeavyHitters(3)
+	if len(hh) != 3 || hh[0].Count != 10 {
+		t.Fatalf("heavy hitters = %+v, want 3 entries of count 10", hh)
+	}
+}
+
+func TestNDVErrorBound(t *testing.T) {
+	// TPC-H-column-shaped streams: uniform keys (orderkey-like), repeated
+	// keys (suppkey-like FK with 10x fanout), and skewed keys.
+	cases := []struct {
+		name string
+		n    int
+		ndv  int
+	}{
+		{"uniform-50k", 50_000, 50_000},
+		{"fk-fanout", 50_000, 5_000},
+		{"low-card", 20_000, 25},
+	}
+	for _, tc := range cases {
+		s := New()
+		for i := 0; i < tc.n; i++ {
+			s.Add(hashOf(i % tc.ndv))
+		}
+		est := s.NDV()
+		relErr := math.Abs(est-float64(tc.ndv)) / float64(tc.ndv)
+		if relErr > 0.15 {
+			t.Errorf("%s: NDV est %.0f vs true %d (rel err %.3f > 0.15)",
+				tc.name, est, tc.ndv, relErr)
+		}
+	}
+}
+
+func TestMergeAssociativity(t *testing.T) {
+	build := func(lo, hi, mod int) *Sketch {
+		s := New()
+		for i := lo; i < hi; i++ {
+			s.Add(hashOf(i % mod))
+		}
+		return s
+	}
+	mk := func() (a, b, c *Sketch) {
+		return build(0, 4000, 700), build(4000, 9000, 1300), build(9000, 20000, 90)
+	}
+
+	// (a ⊔ b) ⊔ c
+	a1, b1, c1 := mk()
+	a1.Merge(b1)
+	a1.Merge(c1)
+
+	// a ⊔ (b ⊔ c)
+	a2, b2, c2 := mk()
+	b2.Merge(c2)
+	a2.Merge(b2)
+
+	// (c ⊔ a) ⊔ b — commutativity too
+	a3, b3, c3 := mk()
+	c3.Merge(a3)
+	c3.Merge(b3)
+
+	e1, e2, e3 := a1.Marshal(), a2.Marshal(), c3.Marshal()
+	if !bytes.Equal(e1, e2) {
+		t.Fatal("merge is not associative: (a+b)+c != a+(b+c)")
+	}
+	if !bytes.Equal(e1, e3) {
+		t.Fatal("merge is not commutative: (a+b)+c != (c+a)+b")
+	}
+}
+
+func TestDeterministicSerialization(t *testing.T) {
+	// Same multiset, different insertion orders → identical bytes.
+	s1, s2 := New(), New()
+	for i := 0; i < 5000; i++ {
+		s1.Add(hashOf(i % 600))
+	}
+	for i := 4999; i >= 0; i-- {
+		s2.Add(hashOf(i % 600))
+	}
+	e1, e2 := s1.Marshal(), s2.Marshal()
+	if !bytes.Equal(e1, e2) {
+		t.Fatal("serialization depends on insertion order")
+	}
+	back, err := Unmarshal(e1)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !bytes.Equal(back.Marshal(), e1) {
+		t.Fatal("Marshal/Unmarshal round trip is not the identity")
+	}
+	if back.Rows() != s1.Rows() || back.NDV() != s1.NDV() {
+		t.Fatalf("round trip changed summaries: rows %d/%d ndv %g/%g",
+			back.Rows(), s1.Rows(), back.NDV(), s1.NDV())
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("nope")); err == nil {
+		t.Fatal("want error for bad header")
+	}
+	good := New()
+	good.Add(1)
+	enc := good.Marshal()
+	if _, err := Unmarshal(enc[:len(enc)-3]); err == nil {
+		t.Fatal("want error for truncated encoding")
+	}
+}
+
+func TestHeavyHitterSkew(t *testing.T) {
+	s := New()
+	for i := 0; i < 9000; i++ {
+		s.Add(hashOf(42)) // one dominant key
+	}
+	for i := 0; i < 1000; i++ {
+		s.Add(hashOf(1000 + i%100))
+	}
+	if f := s.MaxFraction(); f < 0.85 {
+		t.Fatalf("MaxFraction = %.3f, want >= 0.85 for a 90%% skewed stream", f)
+	}
+	hh := s.HeavyHitters(1)
+	if len(hh) != 1 || hh[0].Count != 9000 {
+		t.Fatalf("heavy hitter = %+v, want count 9000", hh)
+	}
+}

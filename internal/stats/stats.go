@@ -43,6 +43,15 @@ type Estimator struct {
 	// collapse-to-1 edge case (the IC baseline). When false, Equation 3
 	// is used.
 	LegacyJoin bool
+	// Misestimate, when non-zero and not 1, scales every join-size
+	// estimate by the factor — the misestimation-injection knob for the
+	// adaptive-execution experiments (DESIGN.md §17). Values below 1 make
+	// the planner under-estimate join outputs (the failure mode that
+	// under-partitions or over-broadcasts big intermediates); values
+	// above 1 over-estimate them. Base-table cardinalities stay exact,
+	// matching the paper's finding that join-size estimation is where the
+	// plans go wrong.
+	Misestimate float64
 }
 
 // New returns an estimator backed by the given provider.
@@ -99,15 +108,24 @@ func (e *Estimator) aggregateRows(a *logical.Aggregate) float64 {
 	return clampRows(math.Min(groups, in))
 }
 
+// misScale applies the misestimation-injection factor to a join-size
+// estimate (identity when the knob is unset).
+func (e *Estimator) misScale(rows float64) float64 {
+	if e.Misestimate > 0 && e.Misestimate != 1 {
+		return rows * e.Misestimate
+	}
+	return rows
+}
+
 // joinRows dispatches between the legacy and Equation 3 estimators.
 func (e *Estimator) joinRows(j *logical.Join) float64 {
 	left := e.RowCount(j.Left)
 	right := e.RowCount(j.Right)
 	switch j.Type {
 	case logical.JoinSemi:
-		return clampRows(left * defaultRangeSel)
+		return clampRows(e.misScale(left * defaultRangeSel))
 	case logical.JoinAnti:
-		return clampRows(left * (1 - defaultRangeSel))
+		return clampRows(e.misScale(left * (1 - defaultRangeSel)))
 	}
 
 	keys, rest := expr.SplitJoinCondition(j.Cond, len(j.Left.Schema()))
@@ -121,6 +139,7 @@ func (e *Estimator) joinRows(j *logical.Join) float64 {
 	for range rest {
 		out *= defaultRangeSel
 	}
+	out = e.misScale(out)
 	if j.Type == logical.JoinLeft {
 		out = math.Max(out, left)
 	}
